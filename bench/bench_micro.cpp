@@ -1,0 +1,149 @@
+// Micro-benchmarks for the substrate libraries (google-benchmark): truth
+// tables, ISOP/minimum-SOP, AIG construction, cut enumeration, simulation,
+// floating-mode timing simulation, SAT, CEC, and the baseline passes.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/aig_build.hpp"
+#include "aig/cuts.hpp"
+#include "baseline/restructure.hpp"
+#include "cec/cec.hpp"
+#include "common/rng.hpp"
+#include "io/generators.hpp"
+#include "lookahead/decompose.hpp"
+#include "sim/simulation.hpp"
+#include "sop/sop.hpp"
+
+using namespace lls;
+
+namespace {
+
+TruthTable random_tt(int num_vars, Rng& rng) {
+    TruthTable tt(num_vars);
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) tt.set_bit(m, rng.next_bool());
+    return tt;
+}
+
+void BM_TruthTableOps(benchmark::State& state) {
+    Rng rng(1);
+    const int n = static_cast<int>(state.range(0));
+    const TruthTable a = random_tt(n, rng);
+    const TruthTable b = random_tt(n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize((a & b) | (~a ^ b));
+    }
+}
+BENCHMARK(BM_TruthTableOps)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_Isop(benchmark::State& state) {
+    Rng rng(2);
+    const int n = static_cast<int>(state.range(0));
+    std::vector<TruthTable> tts;
+    for (int i = 0; i < 32; ++i) tts.push_back(random_tt(n, rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(isop(tts[i++ % tts.size()]));
+    }
+}
+BENCHMARK(BM_Isop)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_MinimumSop(benchmark::State& state) {
+    Rng rng(3);
+    const int n = static_cast<int>(state.range(0));
+    std::vector<TruthTable> tts;
+    for (int i = 0; i < 32; ++i) tts.push_back(random_tt(n, rng));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(minimum_sop(tts[i++ % tts.size()]));
+    }
+}
+BENCHMARK(BM_MinimumSop)->Arg(4)->Arg(6);
+
+void BM_AigConstruction(benchmark::State& state) {
+    const int bits = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ripple_carry_adder(bits));
+    }
+}
+BENCHMARK(BM_AigConstruction)->Arg(16)->Arg(64);
+
+void BM_CutEnumeration(benchmark::State& state) {
+    const Aig adder = ripple_carry_adder(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        CutEnumerator cuts(adder, 5, 8);
+        benchmark::DoNotOptimize(cuts.cuts(static_cast<std::uint32_t>(adder.num_nodes()) - 1));
+    }
+}
+BENCHMARK(BM_CutEnumeration)->Arg(16)->Arg(64);
+
+void BM_Simulation(benchmark::State& state) {
+    const Aig adder = ripple_carry_adder(32);
+    Rng rng(4);
+    const SimPatterns patterns = SimPatterns::random(adder.num_pis(), 2048, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulate(adder, patterns));
+    }
+}
+BENCHMARK(BM_Simulation);
+
+void BM_TimingSimulation(benchmark::State& state) {
+    const Aig adder = ripple_carry_adder(32);
+    Rng rng(5);
+    const SimPatterns patterns = SimPatterns::random(adder.num_pis(), 1024, rng);
+    const auto sigs = simulate(adder, patterns);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(timing_simulate(adder, patterns, sigs));
+    }
+}
+BENCHMARK(BM_TimingSimulation);
+
+void BM_SatAdderMiter(benchmark::State& state) {
+    const Aig rca = ripple_carry_adder(static_cast<int>(state.range(0)));
+    const Aig cla = carry_lookahead_adder(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(check_equivalence(rca, cla));
+    }
+}
+BENCHMARK(BM_SatAdderMiter)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SatSweep(benchmark::State& state) {
+    const Aig adder = ripple_carry_adder(16);
+    for (auto _ : state) {
+        Rng rng(6);
+        benchmark::DoNotOptimize(sat_sweep(adder, rng));
+    }
+}
+BENCHMARK(BM_SatSweep);
+
+void BM_Balance(benchmark::State& state) {
+    const Aig adder = ripple_carry_adder(64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(balance(adder));
+    }
+}
+BENCHMARK(BM_Balance);
+
+void BM_RestructureDelay(benchmark::State& state) {
+    const Aig adder = ripple_carry_adder(32);
+    RestructureOptions opt;
+    opt.delay_oriented = true;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(restructure(adder, opt));
+    }
+}
+BENCHMARK(BM_RestructureDelay);
+
+void BM_DecomposeCoutCone(benchmark::State& state) {
+    const Aig rca = ripple_carry_adder(8);
+    const Aig cone = extract_cone(rca, rca.num_pos() - 1);
+    LookaheadParams params;
+    for (auto _ : state) {
+        Rng rng(7);
+        benchmark::DoNotOptimize(decompose_output(cone, params, rng));
+    }
+}
+BENCHMARK(BM_DecomposeCoutCone);
+
+}  // namespace
+
+BENCHMARK_MAIN();

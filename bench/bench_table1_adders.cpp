@@ -1,0 +1,62 @@
+// Reproduces Table 1 of the paper: best AIG levels after timing
+// optimization of an n-bit ripple-carry adder, n = 2, 4, 8, 16, for the
+// "Optimum" carry-lookahead reference, the three baseline flow stand-ins
+// (SIS / ABC / Synopsys DC), and the proposed lookahead technique.
+//
+// Absolute numbers differ from the paper (different AIG costs for XOR and
+// different baseline implementations); the claim reproduced is the *shape*:
+// the baselines stay far from the optimum while lookahead lands at or near
+// it (and below SIS/ABC/DC on every size).
+
+#include <cstdio>
+
+#include "baseline/flows.hpp"
+#include "cec/cec.hpp"
+#include "common/stopwatch.hpp"
+#include "io/generators.hpp"
+#include "lookahead/optimize.hpp"
+
+using namespace lls;
+
+namespace {
+
+int run_flow(const char* name, const Aig& input, const Aig& optimized) {
+    const CecResult cec = check_equivalence(input, optimized, 2000000);
+    if (!cec.resolved || !cec.equivalent) {
+        std::fprintf(stderr, "EQUIVALENCE FAILURE in flow %s\n", name);
+        std::exit(1);
+    }
+    return optimized.depth();
+}
+
+}  // namespace
+
+int main() {
+    std::printf("Table 1: best AIG levels after timing optimization of an n-bit adder\n");
+    std::printf("%-4s %-8s %-6s %-6s %-12s %-10s\n", "n", "Optimum", "SIS", "ABC", "Synopsys DC",
+                "Lookahead");
+
+    Stopwatch total;
+    for (const int n : {2, 4, 8, 16}) {
+        const Aig rca = ripple_carry_adder(n);
+        const Aig cla = carry_lookahead_adder(n);
+
+        Rng rng(1);
+        const int d_opt = cla.depth();
+        const int d_sis = run_flow("sis", rca, flow_sis(rca, rng));
+        const int d_abc = run_flow("abc", rca, flow_abc(rca, rng));
+        const int d_dc = run_flow("dc", rca, flow_dc(rca, rng));
+
+        LookaheadParams params;
+        params.max_iterations = 12;
+        OptimizeStats stats;
+        const Aig ours = optimize_timing(rca, params, &stats);
+        const int d_la = run_flow("lookahead", rca, ours);
+
+        std::printf("%-4d %-8d %-6d %-6d %-12d %-10d\n", n, d_opt, d_sis, d_abc, d_dc, d_la);
+        std::fflush(stdout);
+    }
+    std::printf("(all optimized circuits verified equivalent to the ripple-carry input; "
+                "%.1fs total)\n", total.elapsed_seconds());
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Token-passing arbiter / daisy-chained grant logic: the classic "control
+// logic with a rippling critical chain" workload from processor front-ends.
+// A token ripples down the chain; a requesting station grabs it and its
+// mask bit decides whether the token is regenerated for the stations below
+// or killed:
+//
+//   token_0     = enable
+//   grant_i     = token_i & req_i
+//   token_{i+1} = req_i ? mask_i : token_i        (a mux recurrence)
+//
+// Unlike a plain AND chain, the mux recurrence cannot be flattened by
+// algebraic tree balancing — exactly the generate/propagate structure the
+// lookahead windows capture (req_i = "this station decides", mask_i =
+// "generate", !req_i = "propagate").
+//
+//   $ ./examples/priority_arbiter [width]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/flows.hpp"
+#include "cec/cec.hpp"
+#include "io/generators.hpp"
+#include "lookahead/optimize.hpp"
+#include "mapping/mapper.hpp"
+
+namespace {
+
+lls::Aig priority_arbiter(int width) {
+    lls::Aig aig;
+    std::vector<lls::AigLit> req, mask;
+    for (int i = 0; i < width; ++i) req.push_back(aig.add_pi("req" + std::to_string(i)));
+    for (int i = 0; i < width; ++i) mask.push_back(aig.add_pi("mask" + std::to_string(i)));
+    lls::AigLit pass = aig.add_pi("enable");
+
+    for (int i = 0; i < width; ++i) {
+        aig.add_po(aig.land(pass, req[i]), "grant" + std::to_string(i));
+        pass = aig.lmux(req[i], mask[i], pass);
+    }
+    aig.add_po(pass, "token_out");  // token state after the last station
+    return aig;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int width = argc > 1 ? std::atoi(argv[1]) : 24;
+    const lls::Aig arbiter = priority_arbiter(width);
+    std::printf("%d-way priority arbiter: %zu AND nodes, depth %d\n", width,
+                arbiter.count_reachable_ands(), arbiter.depth());
+
+    const lls::CellLibrary lib = lls::CellLibrary::generic_70nm();
+    lls::Rng rng(3);
+
+    auto report = [&](const char* name, const lls::Aig& opt) {
+        if (!lls::check_equivalence(arbiter, opt, 2000000).equivalent) {
+            std::printf("%s: NOT EQUIVALENT\n", name);
+            std::exit(1);
+        }
+        const lls::MappedCircuit mapped = lls::map_circuit(opt, lib);
+        std::printf("%-10s depth=%3d gates=%4zu mapped delay=%6.0f ps\n", name, opt.depth(),
+                    opt.count_reachable_ands(), mapped.delay_ps);
+    };
+
+    report("original", arbiter);
+    report("DC-like", lls::flow_dc(arbiter, rng));
+
+    lls::LookaheadParams params;
+    params.max_iterations = 24;
+    lls::OptimizeStats stats;
+    const lls::Aig ours = lls::optimize_timing(arbiter, params, &stats);
+    report("lookahead", ours);
+    std::printf("(%d decomposition rounds, %d cones rebuilt; every grant output verified)\n",
+                stats.iterations, stats.outputs_decomposed);
+    return 0;
+}

@@ -1,0 +1,175 @@
+#include "aig/aig.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace lls {
+
+AigLit Aig::add_pi(std::string name) {
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.is_pi = true;
+    nodes_.push_back(n);
+    pis_.push_back(id);
+    if (name.empty()) name = "pi" + std::to_string(pis_.size() - 1);
+    pi_names_.push_back(std::move(name));
+    pi_index_[id] = pis_.size() - 1;
+    return AigLit::make(id, false);
+}
+
+void Aig::add_po(AigLit lit, std::string name) {
+    LLS_REQUIRE(lit.node() < nodes_.size());
+    pos_.push_back(lit);
+    if (name.empty()) name = "po" + std::to_string(pos_.size() - 1);
+    po_names_.push_back(std::move(name));
+}
+
+AigLit Aig::land(AigLit a, AigLit b) {
+    LLS_REQUIRE(a.node() < nodes_.size() && b.node() < nodes_.size());
+    // Constant and trivial rules.
+    if (a == AigLit::constant(false) || b == AigLit::constant(false))
+        return AigLit::constant(false);
+    if (a == AigLit::constant(true)) return b;
+    if (b == AigLit::constant(true)) return a;
+    if (a == b) return a;
+    if (a == !b) return AigLit::constant(false);
+    // Canonical operand order for structural hashing.
+    if (b < a) std::swap(a, b);
+    const auto key = std::make_pair(a.value, b.value);
+    if (auto it = strash_.find(key); it != strash_.end())
+        return AigLit::make(it->second, false);
+    const auto id = static_cast<std::uint32_t>(nodes_.size());
+    Node n;
+    n.fanin0 = a;
+    n.fanin1 = b;
+    nodes_.push_back(n);
+    strash_.emplace(key, id);
+    return AigLit::make(id, false);
+}
+
+AigLit Aig::land_many(std::vector<AigLit> lits) {
+    if (lits.empty()) return AigLit::constant(true);
+    // Balanced pairwise reduction keeps the AND tree depth at ceil(log2 n).
+    while (lits.size() > 1) {
+        std::vector<AigLit> next;
+        for (std::size_t i = 0; i + 1 < lits.size(); i += 2) next.push_back(land(lits[i], lits[i + 1]));
+        if (lits.size() % 2) next.push_back(lits.back());
+        lits = std::move(next);
+    }
+    return lits[0];
+}
+
+AigLit Aig::lor_many(std::vector<AigLit> lits) {
+    for (auto& l : lits) l = !l;
+    return !land_many(std::move(lits));
+}
+
+std::vector<int> Aig::compute_levels() const {
+    std::vector<int> level(nodes_.size(), 0);
+    for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+        if (nodes_[id].is_pi) continue;
+        level[id] = 1 + std::max(level[nodes_[id].fanin0.node()], level[nodes_[id].fanin1.node()]);
+    }
+    return level;
+}
+
+int Aig::depth() const {
+    const auto level = compute_levels();
+    int d = 0;
+    for (const auto& po : pos_) d = std::max(d, level[po.node()]);
+    return d;
+}
+
+std::size_t Aig::count_reachable_ands() const {
+    std::vector<char> mark(nodes_.size(), 0);
+    std::vector<std::uint32_t> stack;
+    for (const auto& po : pos_) stack.push_back(po.node());
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        const auto id = stack.back();
+        stack.pop_back();
+        if (mark[id]) continue;
+        mark[id] = 1;
+        if (is_and(id)) {
+            ++count;
+            stack.push_back(nodes_[id].fanin0.node());
+            stack.push_back(nodes_[id].fanin1.node());
+        }
+    }
+    return count;
+}
+
+std::vector<int> Aig::compute_fanout_counts() const {
+    std::vector<int> fanout(nodes_.size(), 0);
+    for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+        if (nodes_[id].is_pi) continue;
+        ++fanout[nodes_[id].fanin0.node()];
+        ++fanout[nodes_[id].fanin1.node()];
+    }
+    for (const auto& po : pos_) ++fanout[po.node()];
+    return fanout;
+}
+
+std::vector<std::uint32_t> Aig::topo_order() const {
+    std::vector<std::uint32_t> order(nodes_.size());
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) order[i] = i;
+    return order;
+}
+
+Aig Aig::cleanup() const {
+    Aig result;
+    std::vector<AigLit> remap(nodes_.size(), AigLit::constant(false));
+    std::vector<char> reachable(nodes_.size(), 0);
+
+    // Mark the reachable cone.
+    std::vector<std::uint32_t> stack;
+    for (const auto& po : pos_) stack.push_back(po.node());
+    while (!stack.empty()) {
+        const auto id = stack.back();
+        stack.pop_back();
+        if (reachable[id]) continue;
+        reachable[id] = 1;
+        if (is_and(id)) {
+            stack.push_back(nodes_[id].fanin0.node());
+            stack.push_back(nodes_[id].fanin1.node());
+        }
+    }
+
+    // Keep the full PI interface (even unused PIs) so circuits stay
+    // comparable before and after optimization.
+    for (std::size_t i = 0; i < pis_.size(); ++i)
+        remap[pis_[i]] = result.add_pi(pi_names_[i]);
+
+    auto remap_lit = [&remap](AigLit old) {
+        AigLit m = remap[old.node()];
+        return old.complemented() ? !m : m;
+    };
+
+    for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+        if (!reachable[id] || !is_and(id)) continue;
+        remap[id] = result.land(remap_lit(nodes_[id].fanin0), remap_lit(nodes_[id].fanin1));
+    }
+
+    for (std::size_t i = 0; i < pos_.size(); ++i)
+        result.add_po(remap_lit(pos_[i]), po_names_[i]);
+    return result;
+}
+
+std::uint64_t Aig::hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 31;
+    };
+    mix(nodes_.size());
+    mix(pis_.size());
+    for (std::uint32_t id = 1; id < nodes_.size(); ++id) {
+        if (nodes_[id].is_pi) continue;
+        mix((std::uint64_t{nodes_[id].fanin0.value} << 32) | nodes_[id].fanin1.value);
+    }
+    for (const auto& po : pos_) mix(po.value);
+    return h;
+}
+
+}  // namespace lls

@@ -1,0 +1,166 @@
+#include "aig/aig_build.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace lls {
+
+AigLit build_factored(Aig& aig, const FactorExpr& expr, const std::vector<AigLit>& fanins) {
+    switch (expr.kind) {
+        case FactorExpr::Kind::Const0:
+            return AigLit::constant(false);
+        case FactorExpr::Kind::Const1:
+            return AigLit::constant(true);
+        case FactorExpr::Kind::Literal: {
+            LLS_REQUIRE(expr.var >= 0 &&
+                        static_cast<std::size_t>(expr.var) < fanins.size());
+            const AigLit lit = fanins[static_cast<std::size_t>(expr.var)];
+            return expr.polarity ? lit : !lit;
+        }
+        case FactorExpr::Kind::And: {
+            std::vector<AigLit> kids;
+            kids.reserve(expr.children.size());
+            for (const auto& c : expr.children) kids.push_back(build_factored(aig, c, fanins));
+            return aig.land_many(std::move(kids));
+        }
+        case FactorExpr::Kind::Or: {
+            std::vector<AigLit> kids;
+            kids.reserve(expr.children.size());
+            for (const auto& c : expr.children) kids.push_back(build_factored(aig, c, fanins));
+            return aig.lor_many(std::move(kids));
+        }
+    }
+    return AigLit::constant(false);
+}
+
+AigLit build_sop(Aig& aig, const Sop& sop, const std::vector<AigLit>& fanins) {
+    std::vector<AigLit> cube_lits;
+    cube_lits.reserve(sop.num_cubes());
+    for (const auto& cube : sop.cubes()) {
+        std::vector<AigLit> lits;
+        for (int v = 0; v < sop.num_vars(); ++v) {
+            if (!cube.has_literal(v)) continue;
+            const AigLit f = fanins[static_cast<std::size_t>(v)];
+            lits.push_back(cube.literal_polarity(v) ? f : !f);
+        }
+        cube_lits.push_back(aig.land_many(std::move(lits)));
+    }
+    return aig.lor_many(std::move(cube_lits));
+}
+
+AigLit build_truth_table(Aig& aig, const TruthTable& tt, const std::vector<AigLit>& fanins) {
+    LLS_REQUIRE(static_cast<int>(fanins.size()) >= tt.num_vars());
+    if (tt.is_const0()) return AigLit::constant(false);
+    if (tt.is_const1()) return AigLit::constant(true);
+    const Sop on = isop(tt);
+    const Sop off = isop(~tt);
+    // Build whichever phase factors into fewer literals; invert if off-set.
+    const FactorExpr on_expr = factor(on);
+    const FactorExpr off_expr = factor(off);
+    if (off_expr.num_literals() < on_expr.num_literals())
+        return !build_factored(aig, off_expr, fanins);
+    return build_factored(aig, on_expr, fanins);
+}
+
+void AigLevelTracker::refresh() {
+    const std::size_t old = levels_.size();
+    if (old == aig_.num_nodes()) return;
+    levels_.resize(aig_.num_nodes(), 0);
+    for (std::uint32_t id = static_cast<std::uint32_t>(old); id < aig_.num_nodes(); ++id) {
+        if (!aig_.is_and(id)) continue;
+        const auto& n = aig_.node(id);
+        levels_[id] = 1 + std::max(levels_[n.fanin0.node()], levels_[n.fanin1.node()]);
+    }
+}
+
+AigLit land_timed(Aig& aig, std::vector<AigLit> lits, AigLevelTracker& levels) {
+    if (lits.empty()) return AigLit::constant(true);
+    auto cmp = [&](AigLit a, AigLit b) { return levels.level(a) > levels.level(b); };
+    std::priority_queue<AigLit, std::vector<AigLit>, decltype(cmp)> heap(cmp, std::move(lits));
+    while (heap.size() > 1) {
+        const AigLit a = heap.top();
+        heap.pop();
+        const AigLit b = heap.top();
+        heap.pop();
+        heap.push(aig.land(a, b));
+    }
+    return heap.top();
+}
+
+AigLit lor_timed(Aig& aig, std::vector<AigLit> lits, AigLevelTracker& levels) {
+    for (auto& l : lits) l = !l;
+    return !land_timed(aig, std::move(lits), levels);
+}
+
+AigLit build_sop_timed(Aig& aig, const Sop& sop, const std::vector<AigLit>& fanins,
+                       AigLevelTracker& levels) {
+    std::vector<AigLit> cube_lits;
+    cube_lits.reserve(sop.num_cubes());
+    for (const auto& cube : sop.cubes()) {
+        std::vector<AigLit> lits;
+        for (int v = 0; v < sop.num_vars(); ++v) {
+            if (!cube.has_literal(v)) continue;
+            const AigLit f = fanins[static_cast<std::size_t>(v)];
+            lits.push_back(cube.literal_polarity(v) ? f : !f);
+        }
+        cube_lits.push_back(land_timed(aig, std::move(lits), levels));
+    }
+    return lor_timed(aig, std::move(cube_lits), levels);
+}
+
+AigLit build_truth_table_timed(Aig& aig, const TruthTable& tt, const std::vector<AigLit>& fanins,
+                               AigLevelTracker& levels) {
+    LLS_REQUIRE(static_cast<int>(fanins.size()) >= tt.num_vars());
+    if (tt.is_const0()) return AigLit::constant(false);
+    if (tt.is_const1()) return AigLit::constant(true);
+    const Sop on = isop(tt);
+    const Sop off = isop(~tt);
+    const AigLit timed_on = build_sop_timed(aig, on, fanins, levels);
+    const AigLit timed_off = !build_sop_timed(aig, off, fanins, levels);
+    const AigLit timed =
+        levels.level(timed_off) < levels.level(timed_on) ? timed_off : timed_on;
+    // Factored realization: usually smaller, sometimes also shallower.
+    const AigLit factored = build_truth_table(aig, tt, fanins);
+    return levels.level(factored) < levels.level(timed) ? factored : timed;
+}
+
+Aig extract_cone(const Aig& aig, std::size_t po_index) {
+    LLS_REQUIRE(po_index < aig.num_pos());
+    Aig cone;
+    std::vector<AigLit> remap(aig.num_nodes(), AigLit::constant(false));
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) remap[aig.pi(i)] = cone.add_pi(aig.pi_name(i));
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id)) continue;
+        const auto& n = aig.node(id);
+        const AigLit f0 = n.fanin0.complemented() ? !remap[n.fanin0.node()] : remap[n.fanin0.node()];
+        const AigLit f1 = n.fanin1.complemented() ? !remap[n.fanin1.node()] : remap[n.fanin1.node()];
+        remap[id] = cone.land(f0, f1);
+    }
+    const AigLit po = aig.po(po_index);
+    cone.add_po(po.complemented() ? !remap[po.node()] : remap[po.node()], aig.po_name(po_index));
+    return cone.cleanup();
+}
+
+std::vector<AigLit> append_aig(Aig& dst, const Aig& src, const std::vector<AigLit>& pi_map,
+                               std::vector<AigLit>* node_map) {
+    LLS_REQUIRE(pi_map.size() == src.num_pis());
+    std::vector<AigLit> remap(src.num_nodes(), AigLit::constant(false));
+    for (std::size_t i = 0; i < src.num_pis(); ++i) remap[src.pi(i)] = pi_map[i];
+    for (std::uint32_t id = 1; id < src.num_nodes(); ++id) {
+        if (!src.is_and(id)) continue;
+        const auto& n = src.node(id);
+        const AigLit f0 = n.fanin0.complemented() ? !remap[n.fanin0.node()] : remap[n.fanin0.node()];
+        const AigLit f1 = n.fanin1.complemented() ? !remap[n.fanin1.node()] : remap[n.fanin1.node()];
+        remap[id] = dst.land(f0, f1);
+    }
+    std::vector<AigLit> outs;
+    outs.reserve(src.num_pos());
+    for (std::size_t i = 0; i < src.num_pos(); ++i) {
+        const AigLit po = src.po(i);
+        outs.push_back(po.complemented() ? !remap[po.node()] : remap[po.node()]);
+    }
+    if (node_map) *node_map = std::move(remap);
+    return outs;
+}
+
+}  // namespace lls

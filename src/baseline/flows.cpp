@@ -1,0 +1,64 @@
+#include "baseline/flows.hpp"
+
+#include "baseline/restructure.hpp"
+#include "cec/cec.hpp"
+#include "exact/rewrite.hpp"
+
+namespace lls {
+
+Aig flow_sis(const Aig& aig, Rng& rng) {
+    // "rugged"/"algebraic": one area-oriented resynthesis round, then
+    // "speed_up": critical-path-only delay restructuring until no gain.
+    Aig current = balance(aig.cleanup());
+    RestructureOptions area;
+    area.delay_oriented = false;
+    area.cut_size = 6;
+    current = restructure(current, area);
+    current = sat_sweep(current, rng);
+
+    RestructureOptions speedup;
+    speedup.delay_oriented = true;
+    speedup.only_critical = true;
+    speedup.cut_size = 6;
+    for (int i = 0; i < 6; ++i) {
+        Aig next = balance(restructure(current, speedup));
+        if (next.depth() >= current.depth()) break;
+        current = std::move(next);
+    }
+    return current;
+}
+
+Aig flow_abc(const Aig& aig, Rng& rng) {
+    // resyn2rs-like: balance / rewrite / refactor rounds with an area
+    // objective. `rewrite` is the exact-synthesis cut rewriting (the real
+    // counterpart of ABC's rewrite command).
+    Aig current = aig.cleanup();
+    RestructureOptions refactor;
+    refactor.delay_oriented = false;
+    refactor.cut_size = 8;
+    for (int i = 0; i < 3; ++i) {
+        current = balance(current);
+        if (i == 0) current = rewrite(current);
+        current = restructure(current, refactor);
+        current = sat_sweep(current, rng);
+    }
+    return balance(current);
+}
+
+Aig flow_dc(const Aig& aig, Rng& rng) {
+    // High-effort delay flow: global delay restructuring + balancing until
+    // convergence, with area recovery.
+    Aig current = balance(aig.cleanup());
+    RestructureOptions delay;
+    delay.delay_oriented = true;
+    delay.cut_size = 8;
+    for (int i = 0; i < 10; ++i) {
+        Aig next = balance(restructure(current, delay));
+        next = sat_sweep(next, rng);
+        if (next.depth() >= current.depth()) break;
+        current = std::move(next);
+    }
+    return current;
+}
+
+}  // namespace lls

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "aig/aig.hpp"
+#include "common/rng.hpp"
+
+namespace lls {
+
+/// Options for permissible-function resynthesis.
+struct PermissibleOptions {
+    int cut_size = 5;
+    int max_cuts = 8;
+    std::size_t num_patterns = 1024;
+    std::int64_t sat_conflict_limit = 2000;
+    std::uint64_t seed = 5;
+};
+
+/// Permissible-function / don't-care-based resynthesis (the [6]-style prior
+/// function-based technique reviewed in the paper's Sec. 2, and the moral
+/// equivalent of SIS `full_simplify`): every node of the clustered network
+/// is re-minimized against its complete don't-care set — satisfiability
+/// don't-cares (fanin combinations no input produces) plus observability
+/// don't-cares (combinations whose effect never reaches a PO). Candidates
+/// are proposed by simulation and each used don't-care minterm is *proven*
+/// by SAT on a flip-miter, so the result is always equivalent to the input.
+///
+/// Area-oriented by nature (the paper's point is precisely that don't-care
+/// resynthesis does not target timing); exposed as a baseline/ablation
+/// comparator and a standalone cleanup pass.
+Aig permissible_function_simplify(const Aig& aig, const PermissibleOptions& options = {});
+
+}  // namespace lls

@@ -1,0 +1,164 @@
+#include "baseline/restructure.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "aig/aig_build.hpp"
+#include "aig/cuts.hpp"
+#include "network/network.hpp"
+#include "sop/factor.hpp"
+#include "sop/sop.hpp"
+
+namespace lls {
+
+Aig balance(const Aig& aig) {
+    Aig out;
+    std::vector<AigLit> remap(aig.num_nodes(), AigLit::constant(false));
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) remap[aig.pi(i)] = out.add_pi(aig.pi_name(i));
+    const auto fanout = aig.compute_fanout_counts();
+    AigLevelTracker levels(out);
+
+    // Leaves of the maximal single-fanout conjunction rooted at `lit`
+    // (in the original AIG).
+    auto collect_leaves = [&](AigLit root, auto&& self) -> std::vector<AigLit> {
+        std::vector<AigLit> leaves;
+        std::vector<AigLit> stack{root};
+        while (!stack.empty()) {
+            const AigLit lit = stack.back();
+            stack.pop_back();
+            const std::uint32_t id = lit.node();
+            const bool expandable = !lit.complemented() && aig.is_and(id) &&
+                                    (lit == root || fanout[id] == 1);
+            if (expandable) {
+                stack.push_back(aig.node(id).fanin0);
+                stack.push_back(aig.node(id).fanin1);
+            } else {
+                leaves.push_back(lit);
+            }
+        }
+        (void)self;
+        return leaves;
+    };
+
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id)) continue;
+        auto leaves = collect_leaves(AigLit::make(id, false), collect_leaves);
+        for (auto& l : leaves) {
+            const AigLit m = remap[l.node()];
+            l = l.complemented() ? !m : m;
+        }
+        remap[id] = land_timed(out, std::move(leaves), levels);
+    }
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) {
+        const AigLit po = aig.po(o);
+        out.add_po(po.complemented() ? !remap[po.node()] : remap[po.node()], aig.po_name(o));
+    }
+    return out.cleanup();
+}
+
+Aig restructure(const Aig& aig, const RestructureOptions& options) {
+    const CutEnumerator cuts(aig, options.cut_size, options.max_cuts);
+    const auto old_levels = aig.compute_levels();
+    const int depth = aig.depth();
+
+    // Criticality: nodes on some maximal-level path (level + slack == depth).
+    std::vector<int> required(aig.num_nodes(), 0);
+    if (options.only_critical) {
+        for (auto& r : required) r = depth;
+        std::vector<int> req(aig.num_nodes(), depth);
+        for (std::uint32_t id = static_cast<std::uint32_t>(aig.num_nodes()); id-- > 1;) {
+            if (!aig.is_and(id)) continue;
+            const auto& n = aig.node(id);
+            req[n.fanin0.node()] = std::min(req[n.fanin0.node()], req[id] - 1);
+            req[n.fanin1.node()] = std::min(req[n.fanin1.node()], req[id] - 1);
+        }
+        required = std::move(req);
+    }
+
+    Aig out;
+    std::vector<AigLit> remap(aig.num_nodes(), AigLit::constant(false));
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) remap[aig.pi(i)] = out.add_pi(aig.pi_name(i));
+    AigLevelTracker levels(out);
+
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id)) continue;
+        const auto& n = aig.node(id);
+        const AigLit f0 = n.fanin0.complemented() ? !remap[n.fanin0.node()] : remap[n.fanin0.node()];
+        const AigLit f1 = n.fanin1.complemented() ? !remap[n.fanin1.node()] : remap[n.fanin1.node()];
+        const AigLit plain = out.land(f0, f1);
+        remap[id] = plain;
+
+        const bool critical = !options.only_critical || old_levels[id] == required[id];
+        if (!critical) continue;
+
+        // Evaluate the enumerated cuts and keep the most promising rebuild.
+        int best_score = options.delay_oriented
+                             ? levels.level(plain)
+                             : std::numeric_limits<int>::max();  // plain adds 1 node anyway
+        const AigCut* best_cut = nullptr;
+        Sop best_sop;
+        bool best_phase_on = true;
+        for (const auto& cut : cuts.cuts(id)) {
+            if (cut.leaves.size() == 1 && cut.leaves[0] == id) continue;  // trivial
+            std::vector<int> leaf_levels;
+            std::vector<AigLit> leaf_lits;
+            leaf_levels.reserve(cut.leaves.size());
+            for (const auto l : cut.leaves) {
+                const AigLit m = remap[l];
+                leaf_lits.push_back(m);
+                leaf_levels.push_back(levels.level(m));
+            }
+            const Sop on = isop(cut.tt);
+            const Sop off = isop(~cut.tt);
+            if (options.delay_oriented) {
+                const int lvl_on = Network::sop_tree_level(on, leaf_levels);
+                const int lvl_off = Network::sop_tree_level(off, leaf_levels);
+                const bool phase_on = lvl_on <= lvl_off;
+                const int score = phase_on ? lvl_on : lvl_off;
+                if (score < best_score) {
+                    best_score = score;
+                    best_cut = &cut;
+                    best_sop = phase_on ? on : off;
+                    best_phase_on = phase_on;
+                }
+            } else {
+                const FactorExpr fe_on = factor(on);
+                const FactorExpr fe_off = factor(off);
+                const bool phase_on = fe_on.num_literals() <= fe_off.num_literals();
+                const int score = phase_on ? fe_on.num_literals() : fe_off.num_literals();
+                if (score < best_score) {
+                    best_score = score;
+                    best_cut = &cut;
+                    best_sop = phase_on ? on : off;
+                    best_phase_on = phase_on;
+                }
+            }
+        }
+        if (!best_cut) continue;
+
+        std::vector<AigLit> leaf_lits;
+        leaf_lits.reserve(best_cut->leaves.size());
+        for (const auto l : best_cut->leaves) leaf_lits.push_back(remap[l]);
+        AigLit rebuilt;
+        if (options.delay_oriented)
+            rebuilt = build_sop_timed(out, best_sop, leaf_lits, levels);
+        else
+            rebuilt = build_factored(out, factor(best_sop), leaf_lits);
+        if (!best_phase_on) rebuilt = !rebuilt;
+
+        if (options.delay_oriented) {
+            if (levels.level(rebuilt) < levels.level(plain)) remap[id] = rebuilt;
+        } else {
+            remap[id] = rebuilt;
+        }
+    }
+
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) {
+        const AigLit po = aig.po(o);
+        out.add_po(po.complemented() ? !remap[po.node()] : remap[po.node()], aig.po_name(o));
+    }
+    return out.cleanup();
+}
+
+}  // namespace lls

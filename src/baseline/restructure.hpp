@@ -1,0 +1,32 @@
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace lls {
+
+/// Depth-optimal reconstruction of AND trees: multi-input conjunctions are
+/// re-associated Huffman-style by fanin arrival level (the classic
+/// `balance` pass). Single-fanout AND chains are flattened; shared nodes
+/// are kept as tree leaves to avoid duplication.
+Aig balance(const Aig& aig);
+
+/// Options for the cut-based resynthesis pass.
+struct RestructureOptions {
+    int cut_size = 8;
+    int max_cuts = 6;
+    /// true: choose each node's rebuild to minimize arrival level
+    /// (delay-oriented, like SIS `speed_up` / DC high effort);
+    /// false: minimize factored literal count (area-oriented, like the
+    /// refactor steps of ABC's resyn scripts).
+    bool delay_oriented = true;
+    /// Restrict resynthesis to nodes on topologically critical paths.
+    bool only_critical = false;
+};
+
+/// Cut-based resynthesis: for every AND node, considers re-expressing the
+/// function of each enumerated cut from scratch (timed SOP trees for delay,
+/// factored forms for area) and keeps the best rebuild. This is the
+/// workhorse behind the three baseline flows.
+Aig restructure(const Aig& aig, const RestructureOptions& options);
+
+}  // namespace lls

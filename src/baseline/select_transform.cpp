@@ -1,0 +1,121 @@
+#include "baseline/select_transform.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "aig/aig_build.hpp"
+
+namespace lls {
+
+Aig cofactor_internal(const Aig& aig, std::uint32_t node, bool value) {
+    LLS_REQUIRE(aig.is_and(node) || aig.is_pi(node));
+    Aig out;
+    std::vector<AigLit> remap(aig.num_nodes(), AigLit::constant(false));
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) remap[aig.pi(i)] = out.add_pi(aig.pi_name(i));
+    remap[node] = AigLit::constant(value);
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id) || id == node) continue;
+        const auto& n = aig.node(id);
+        const AigLit f0 = n.fanin0.complemented() ? !remap[n.fanin0.node()] : remap[n.fanin0.node()];
+        const AigLit f1 = n.fanin1.complemented() ? !remap[n.fanin1.node()] : remap[n.fanin1.node()];
+        remap[id] = out.land(f0, f1);
+    }
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) {
+        const AigLit po = aig.po(o);
+        out.add_po(po.complemented() ? !remap[po.node()] : remap[po.node()], aig.po_name(o));
+    }
+    return out.cleanup();
+}
+
+namespace {
+
+/// Applies one select-transform step to a single-output cone; returns the
+/// improved cone if some selection signal reduces its depth.
+std::optional<Aig> select_step(const Aig& cone) {
+    const int depth = cone.depth();
+    if (depth < 3) return std::nullopt;
+    const auto levels = cone.compute_levels();
+
+    // Required times: a node is on a critical path iff level == required.
+    std::vector<int> required(cone.num_nodes(), depth);
+    for (std::uint32_t id = static_cast<std::uint32_t>(cone.num_nodes()); id-- > 1;) {
+        if (!cone.is_and(id)) continue;
+        const auto& n = cone.node(id);
+        required[n.fanin0.node()] = std::min(required[n.fanin0.node()], required[id] - 1);
+        required[n.fanin1.node()] = std::min(required[n.fanin1.node()], required[id] - 1);
+    }
+
+    // Candidate selection signals: critical AND nodes in the middle band of
+    // the path (the logic both below *and* above them must be nontrivial).
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t id = 1; id < cone.num_nodes(); ++id) {
+        if (!cone.is_and(id) || levels[id] != required[id]) continue;
+        if (levels[id] < depth / 4 || levels[id] > 3 * depth / 4) continue;
+        candidates.push_back(id);
+    }
+    // Spread the trials over the band, at most 8 of them.
+    if (candidates.size() > 8) {
+        std::vector<std::uint32_t> picked;
+        for (std::size_t i = 0; i < 8; ++i)
+            picked.push_back(candidates[i * candidates.size() / 8]);
+        candidates = std::move(picked);
+    }
+
+    std::optional<Aig> best;
+    int best_depth = depth;
+    for (const auto s : candidates) {
+        const Aig c0 = cofactor_internal(cone, s, false);
+        const Aig c1 = cofactor_internal(cone, s, true);
+
+        Aig scratch;
+        std::vector<AigLit> pis;
+        for (std::size_t i = 0; i < cone.num_pis(); ++i) pis.push_back(scratch.add_pi(cone.pi_name(i)));
+        std::vector<AigLit> node_map;
+        (void)append_aig(scratch, cone, pis, &node_map);
+        const AigLit s_lit = node_map[s];
+        const AigLit y0 = append_aig(scratch, c0, pis)[0];
+        const AigLit y1 = append_aig(scratch, c1, pis)[0];
+        scratch.add_po(scratch.lmux(s_lit, y1, y0), cone.po_name(0));
+        Aig candidate = extract_cone(scratch, scratch.num_pos() - 1);
+        if (candidate.depth() < best_depth) {
+            best_depth = candidate.depth();
+            best = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+Aig generalized_select_transform(const Aig& aig, int max_iterations) {
+    Aig current = aig.cleanup();
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        const int depth = current.depth();
+        const auto levels = current.compute_levels();
+
+        Aig next;
+        std::vector<AigLit> pi_map;
+        for (std::size_t i = 0; i < current.num_pis(); ++i)
+            pi_map.push_back(next.add_pi(current.pi_name(i)));
+        const auto original_pos = append_aig(next, current, pi_map);
+
+        bool improved = false;
+        for (std::size_t o = 0; o < current.num_pos(); ++o) {
+            AigLit po_lit = original_pos[o];
+            if (levels[current.po(o).node()] == depth) {
+                if (auto cone = select_step(extract_cone(current, o))) {
+                    po_lit = append_aig(next, *cone, pi_map)[0];
+                    improved = true;
+                }
+            }
+            next.add_po(po_lit, current.po_name(o));
+        }
+        if (!improved) break;
+        next = next.cleanup();
+        if (next.depth() >= depth) break;
+        current = std::move(next);
+    }
+    return current;
+}
+
+}  // namespace lls

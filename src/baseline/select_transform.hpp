@@ -1,0 +1,22 @@
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace lls {
+
+/// Constant-propagates an internal node: returns a copy of `aig` in which
+/// node `node` is replaced by the constant `value` (the cofactor of the
+/// circuit with respect to an internal signal).
+Aig cofactor_internal(const Aig& aig, std::uint32_t node, bool value);
+
+/// The *generalized select transform* (Berman et al., the topology-based
+/// technique the paper's Sec. 2 reviews): for each critical output, pick a
+/// late-arriving internal signal s on the critical path, compute the cone
+/// for both values of s in parallel, and select with a multiplexer:
+/// y = s ? y|s=1 : y|s=0. Implemented as an iterated transform that accepts
+/// only depth-reducing applications; serves as a topology-only comparison
+/// point for the function-based lookahead decomposition (which subsumes it:
+/// the select transform is the special case window = s).
+Aig generalized_select_transform(const Aig& aig, int max_iterations = 10);
+
+}  // namespace lls

@@ -1,0 +1,129 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+namespace lls {
+
+BddManager::BddManager(int num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+    LLS_REQUIRE(num_vars >= 0 && num_vars < (1 << 20));
+    LLS_REQUIRE(node_limit <= (std::size_t{1} << 22) && "ref packing requires refs < 2^22");
+    nodes_.push_back(Node{num_vars_, kFalse, kFalse});  // FALSE terminal
+    nodes_.push_back(Node{num_vars_, kTrue, kTrue});    // TRUE terminal
+    var_refs_.assign(static_cast<std::size_t>(num_vars), kFalse);
+}
+
+BddManager::Ref BddManager::make_node(int var, Ref low, Ref high) {
+    if (low == high) return low;
+    const std::uint64_t key = (static_cast<std::uint64_t>(var) << 44) |
+                              (static_cast<std::uint64_t>(low) << 22) |
+                              static_cast<std::uint64_t>(high);
+    if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
+    LLS_ENSURE(nodes_.size() < node_limit_ && "BDD node limit exceeded");
+    const Ref ref = static_cast<Ref>(nodes_.size());
+    nodes_.push_back(Node{var, low, high});
+    unique_.emplace(key, ref);
+    return ref;
+}
+
+BddManager::Ref BddManager::variable(int var) {
+    LLS_REQUIRE(var >= 0 && var < num_vars_);
+    auto& cached = var_refs_[static_cast<std::size_t>(var)];
+    if (cached == kFalse) cached = make_node(var, kFalse, kTrue);
+    return cached;
+}
+
+BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
+    // Terminal cases.
+    if (f == kTrue) return g;
+    if (f == kFalse) return h;
+    if (g == h) return g;
+    if (g == kTrue && h == kFalse) return f;
+
+    const IteKey key{f, g, h};
+    if (const auto it = computed_.find(key); it != computed_.end()) return it->second;
+
+    const int top = std::min({var_of(f), var_of(g), var_of(h)});
+    auto cof = [&](Ref x, bool hi) {
+        if (var_of(x) != top) return x;
+        return hi ? nodes_[x].high : nodes_[x].low;
+    };
+    const Ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
+    const Ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
+    const Ref result = make_node(top, lo, hi);
+    computed_.emplace(key, result);
+    return result;
+}
+
+BddManager::Ref BddManager::cofactor(Ref f, int var, bool value) {
+    LLS_REQUIRE(var >= 0 && var < num_vars_);
+    if (var_of(f) > var) return f;  // f does not depend on var (order!)
+    if (var_of(f) == var) return value ? nodes_[f].high : nodes_[f].low;
+    // var is below f's top variable: rebuild via ite on restricted children.
+    const Ref lo = cofactor(nodes_[f].low, var, value);
+    const Ref hi = cofactor(nodes_[f].high, var, value);
+    return ite(variable(var_of(f)), hi, lo);
+}
+
+BddManager::Ref BddManager::exists(Ref f, int var) {
+    return bor(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+BddManager::Ref BddManager::forall(Ref f, int var) {
+    return band(cofactor(f, var, false), cofactor(f, var, true));
+}
+
+bool BddManager::evaluate(Ref f, std::uint64_t assignment) const {
+    while (f > kTrue) {
+        const Node& n = nodes_[f];
+        f = ((assignment >> n.var) & 1) ? n.high : n.low;
+    }
+    return f == kTrue;
+}
+
+double BddManager::count_minterms(Ref f) const {
+    // Fraction-based DP avoids overflow for many variables.
+    std::unordered_map<Ref, double> fraction;
+    fraction[kFalse] = 0.0;
+    fraction[kTrue] = 1.0;
+    // Iterative post-order via explicit stack.
+    std::vector<Ref> stack{f};
+    while (!stack.empty()) {
+        const Ref r = stack.back();
+        if (fraction.count(r)) {
+            stack.pop_back();
+            continue;
+        }
+        const Node& n = nodes_[r];
+        const bool lo_done = fraction.count(n.low);
+        const bool hi_done = fraction.count(n.high);
+        if (lo_done && hi_done) {
+            fraction[r] = 0.5 * fraction[n.low] + 0.5 * fraction[n.high];
+            stack.pop_back();
+        } else {
+            if (!lo_done) stack.push_back(n.low);
+            if (!hi_done) stack.push_back(n.high);
+        }
+    }
+    double scale = 1.0;
+    for (int i = 0; i < num_vars_; ++i) scale *= 2.0;
+    return fraction[f] * scale;
+}
+
+std::size_t BddManager::size(Ref f) const {
+    std::vector<Ref> stack{f};
+    std::unordered_map<Ref, bool> seen;
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        const Ref r = stack.back();
+        stack.pop_back();
+        if (r <= kTrue || seen.count(r)) continue;
+        seen[r] = true;
+        ++count;
+        stack.push_back(nodes_[r].low);
+        stack.push_back(nodes_[r].high);
+    }
+    return count;
+}
+
+}  // namespace lls

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lls {
+
+/// Reduced ordered binary decision diagrams with a fixed variable order.
+///
+/// Node 0 is the terminal FALSE, node 1 the terminal TRUE. Internal nodes
+/// are canonical (unique table) so equality of functions is pointer
+/// equality. Operations go through ITE with a computed table. No dynamic
+/// reordering — the package exists as an exact-function substrate (exact
+/// SPCF computation, cross-checks of the simulation-based machinery), not
+/// as a general-purpose verification engine.
+class BddManager {
+public:
+    using Ref = std::uint32_t;
+    static constexpr Ref kFalse = 0;
+    static constexpr Ref kTrue = 1;
+
+    explicit BddManager(int num_vars, std::size_t node_limit = 1u << 22);
+
+    int num_vars() const { return num_vars_; }
+    std::size_t num_nodes() const { return nodes_.size(); }
+
+    Ref bdd_false() const { return kFalse; }
+    Ref bdd_true() const { return kTrue; }
+    /// The projection function of variable `var`.
+    Ref variable(int var);
+
+    Ref ite(Ref f, Ref g, Ref h);
+    Ref band(Ref f, Ref g) { return ite(f, g, kFalse); }
+    Ref bor(Ref f, Ref g) { return ite(f, kTrue, g); }
+    Ref bnot(Ref f) { return ite(f, kFalse, kTrue); }
+    Ref bxor(Ref f, Ref g) { return ite(f, bnot(g), g); }
+
+    /// Cofactor with respect to a variable.
+    Ref cofactor(Ref f, int var, bool value);
+    /// Existential quantification of a single variable.
+    Ref exists(Ref f, int var);
+    /// Universal quantification of a single variable.
+    Ref forall(Ref f, int var);
+
+    bool is_false(Ref f) const { return f == kFalse; }
+    bool is_true(Ref f) const { return f == kTrue; }
+
+    /// Evaluates f under a complete assignment (bit v of `assignment` is
+    /// the value of variable v).
+    bool evaluate(Ref f, std::uint64_t assignment) const;
+
+    /// Number of satisfying assignments over all num_vars() variables.
+    double count_minterms(Ref f) const;
+
+    /// Number of DAG nodes reachable from f (excluding terminals).
+    std::size_t size(Ref f) const;
+
+    /// Total nodes allocated; exceeding the limit throws ContractViolation
+    /// (callers treat it as "circuit too large for exact analysis").
+    std::size_t node_limit() const { return node_limit_; }
+
+private:
+    struct Node {
+        int var;  // terminals use num_vars_ (below every real variable)
+        Ref low, high;
+    };
+    struct U64Hash {
+        std::size_t operator()(const std::uint64_t& k) const {
+            std::uint64_t h = k * 0x9e3779b97f4a7c15ULL;
+            h ^= h >> 29;
+            return static_cast<std::size_t>(h);
+        }
+    };
+    struct IteKey {
+        Ref f, g, h;
+        bool operator==(const IteKey&) const = default;
+    };
+    struct IteKeyHash {
+        std::size_t operator()(const IteKey& k) const {
+            std::uint64_t h = k.f;
+            h = h * 0x100000001b3ULL ^ k.g;
+            h = h * 0x100000001b3ULL ^ k.h;
+            h *= 0x9e3779b97f4a7c15ULL;
+            return static_cast<std::size_t>(h ^ (h >> 31));
+        }
+    };
+
+    Ref make_node(int var, Ref low, Ref high);
+    int var_of(Ref f) const { return nodes_[f].var; }
+
+    int num_vars_;
+    std::size_t node_limit_;
+    std::vector<Node> nodes_;
+    // Unique-table key packs (var, low, high) injectively into 64 bits
+    // (var < 2^20, refs < 2^22 by the node limit).
+    std::unordered_map<std::uint64_t, Ref, U64Hash> unique_;
+    std::unordered_map<IteKey, Ref, IteKeyHash> computed_;  // ite cache
+    std::vector<Ref> var_refs_;
+};
+
+}  // namespace lls

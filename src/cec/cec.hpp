@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "common/rng.hpp"
+#include "sat/solver.hpp"
+
+namespace lls {
+
+/// Tseitin-encodes every node of `aig` into `solver`, using `pi_vars[i]` as
+/// the variable of PI i (they must already exist). Returns one SAT literal
+/// per PO.
+std::vector<sat::Lit> encode_aig(const Aig& aig, sat::Solver& solver,
+                                 const std::vector<int>& pi_vars);
+
+/// Like encode_aig, but returns the SAT literal of every AIG *node*
+/// (index = node id), letting callers constrain internal signals.
+std::vector<sat::Lit> encode_aig_nodes(const Aig& aig, sat::Solver& solver,
+                                       const std::vector<int>& pi_vars);
+
+/// SAT literal of an AIG literal given the per-node encoding.
+inline sat::Lit sat_lit_of(const std::vector<sat::Lit>& node_lits, AigLit lit) {
+    const sat::Lit s = node_lits[lit.node()];
+    return lit.complemented() ? !s : s;
+}
+
+struct CecResult {
+    bool equivalent = false;
+    bool resolved = true;                     ///< false when a conflict limit was hit
+    std::vector<bool> counterexample;         ///< PI assignment when not equivalent
+};
+
+/// SAT-based combinational equivalence check of two AIGs with identical
+/// PI/PO interfaces (the paper's post-optimization verification step).
+/// A bit-parallel random-simulation pre-pass catches most inequivalences
+/// without touching the solver.
+CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit = -1);
+
+/// SAT sweeping (fraiging): merges functionally equivalent internal nodes,
+/// up to complement. Candidates are proposed by random-simulation
+/// signatures (refined with counterexamples from failed proofs) and proven
+/// by SAT; unresolved candidates are left unmerged, so the result is always
+/// equivalent to the input. Used as the "standard redundancy elimination"
+/// area-recovery step of the paper.
+///
+/// With `depth_aware` set (the default, for area recovery inside the
+/// synthesis flow) a node is never merged into a *deeper* representative;
+/// the CEC path disables this so structurally different implementations can
+/// collapse onto each other.
+Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit = 2000,
+              std::size_t num_patterns = 1024, bool depth_aware = true);
+
+}  // namespace lls

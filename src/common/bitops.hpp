@@ -1,0 +1,26 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lls {
+
+/// Number of 64-bit words needed to hold `bits` bits.
+constexpr std::size_t words_for_bits(std::size_t bits) { return (bits + 63) / 64; }
+
+/// Mask selecting the low `bits % 64` bits of the last word (all ones when
+/// `bits` is a multiple of 64 and nonzero).
+constexpr std::uint64_t tail_mask(std::size_t bits) {
+    const std::size_t rem = bits % 64;
+    return rem == 0 ? ~0ULL : ((1ULL << rem) - 1);
+}
+
+inline int popcount64(std::uint64_t w) { return std::popcount(w); }
+
+/// ceil(log2(n)) for n >= 1; 0 for n in {0, 1}.
+constexpr int ceil_log2(std::uint64_t n) {
+    if (n <= 1) return 0;
+    return 64 - std::countl_zero(n - 1);
+}
+
+}  // namespace lls

@@ -1,0 +1,48 @@
+#pragma once
+
+// Lightweight contract checking for the LLS library.
+//
+// LLS_REQUIRE  - precondition on public API arguments (always on)
+// LLS_ENSURE   - postcondition / invariant check (always on)
+// LLS_DCHECK   - expensive internal consistency check (debug only)
+//
+// Violations throw lls::ContractViolation so tests can assert on misuse
+// without bringing the whole process down (per CppCoreGuidelines I.6/E.x).
+
+#include <stdexcept>
+#include <string>
+
+namespace lls {
+
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+    throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                            std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace lls
+
+#define LLS_REQUIRE(expr)                                                       \
+    do {                                                                        \
+        if (!(expr)) ::lls::detail::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+    } while (0)
+
+#define LLS_ENSURE(expr)                                                        \
+    do {                                                                        \
+        if (!(expr)) ::lls::detail::contract_fail("invariant", #expr, __FILE__, __LINE__); \
+    } while (0)
+
+#ifndef NDEBUG
+#define LLS_DCHECK(expr) LLS_ENSURE(expr)
+#else
+#define LLS_DCHECK(expr) \
+    do {                 \
+    } while (0)
+#endif

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <chrono>
+
+namespace lls {
+
+/// Monotonic wall-clock stopwatch for reporting flow runtimes.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    void reset() { start_ = clock::now(); }
+
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace lls

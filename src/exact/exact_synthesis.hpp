@@ -1,0 +1,45 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lls {
+
+/// A miniature AIG structure produced by exact synthesis: `gates[i]` reads
+/// two earlier signals (signal s is input s when s < num_inputs, otherwise
+/// gate s - num_inputs), each optionally complemented; the last gate,
+/// possibly complemented, is the output. An empty gate list encodes a
+/// constant or a (possibly complemented) input passthrough via
+/// `output_signal`.
+struct ExactStructure {
+    struct Gate {
+        int fanin0 = 0, fanin1 = 0;
+        bool complement0 = false, complement1 = false;
+    };
+    int num_inputs = 0;
+    std::vector<Gate> gates;
+    int output_signal = 0;  ///< input index or num_inputs + gate index
+    bool output_complemented = false;
+    bool output_constant = false;  ///< output is constant `output_complemented`
+
+    /// Evaluates the structure on one input row (bit i of `row` = input i).
+    bool evaluate(std::uint32_t row) const;
+};
+
+/// SAT-based exact synthesis (Knuth/SSV-style encoding): finds an AIG with
+/// the *minimum number of AND gates* realizing `tt`, searching gate counts
+/// 0, 1, ..., max_gates. Returns nullopt when no realization within
+/// max_gates exists or the SAT budget runs out. Practical for functions of
+/// up to 4-5 inputs and ~7 gates — exactly the granularity cut rewriting
+/// needs.
+std::optional<ExactStructure> exact_synthesize(const TruthTable& tt, int max_gates = 7,
+                                               std::int64_t conflict_limit = 200000);
+
+/// Instantiates an exact structure in `aig` over the given fanin literals.
+AigLit build_exact_structure(Aig& aig, const ExactStructure& structure,
+                             const std::vector<AigLit>& fanins);
+
+}  // namespace lls

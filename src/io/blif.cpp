@@ -1,0 +1,435 @@
+#include "io/blif.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig_build.hpp"
+#include "common/check.hpp"
+#include "sop/sop.hpp"
+
+namespace lls {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string t;
+    while (ss >> t) tokens.push_back(t);
+    return tokens;
+}
+
+/// Reads logical lines, joining '\'-continued lines and stripping comments.
+std::vector<std::string> logical_lines(std::istream& in) {
+    std::vector<std::string> lines;
+    std::string line, pending;
+    while (std::getline(in, line)) {
+        if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+        if (!line.empty() && line.back() == '\\') {
+            line.pop_back();
+            pending += line;
+            continue;
+        }
+        pending += line;
+        if (!pending.empty()) lines.push_back(pending);
+        pending.clear();
+    }
+    if (!pending.empty()) lines.push_back(pending);
+    return lines;
+}
+
+struct BlifGate {
+    std::vector<std::string> inputs;
+    std::string output;
+    std::vector<std::string> cover;  // raw cover lines ("10-1 1")
+};
+
+}  // namespace
+
+Aig read_blif(std::istream& in) {
+    const auto lines = logical_lines(in);
+    std::vector<std::string> input_names, output_names;
+    std::vector<BlifGate> gates;
+    BlifGate* current = nullptr;
+
+    for (const auto& line : lines) {
+        auto tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string& head = tokens[0];
+        if (head == ".model" || head == ".end") {
+            current = nullptr;
+        } else if (head == ".inputs") {
+            current = nullptr;
+            input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+        } else if (head == ".outputs") {
+            current = nullptr;
+            output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+        } else if (head == ".names") {
+            if (tokens.size() < 2) throw std::runtime_error("BLIF: .names without signals");
+            gates.push_back(BlifGate{});
+            current = &gates.back();
+            current->output = tokens.back();
+            current->inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+        } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
+            throw std::runtime_error("BLIF: only combinational .names models are supported");
+        } else if (head[0] == '.') {
+            current = nullptr;  // ignore other directives (.default_input_arrival etc.)
+        } else {
+            if (!current) throw std::runtime_error("BLIF: cover line outside .names");
+            current->cover.push_back(line);
+        }
+    }
+
+    Aig aig;
+    std::unordered_map<std::string, AigLit> signals;
+    for (const auto& name : input_names) signals[name] = aig.add_pi(name);
+
+    // Gates may be listed in any order; resolve iteratively.
+    std::vector<bool> done(gates.size(), false);
+    std::size_t remaining = gates.size();
+    bool progress = true;
+    while (remaining > 0 && progress) {
+        progress = false;
+        for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+            if (done[gi]) continue;
+            const auto& g = gates[gi];
+            const bool ready = std::all_of(g.inputs.begin(), g.inputs.end(),
+                                           [&](const std::string& s) { return signals.count(s); });
+            if (!ready) continue;
+
+            const int k = static_cast<int>(g.inputs.size());
+            if (k > Cube::kMaxVars)
+                throw std::runtime_error("BLIF: .names with more than 32 inputs");
+            Sop on(k);
+            bool off_phase = false, phase_known = false;
+            for (const auto& raw : g.cover) {
+                const auto tokens = tokenize(raw);
+                std::string bits, out;
+                if (k == 0) {
+                    if (tokens.size() != 1) throw std::runtime_error("BLIF: bad constant cover");
+                    out = tokens[0];
+                } else {
+                    if (tokens.size() != 2) throw std::runtime_error("BLIF: bad cover line");
+                    bits = tokens[0];
+                    out = tokens[1];
+                    if (static_cast<int>(bits.size()) != k)
+                        throw std::runtime_error("BLIF: cover width mismatch");
+                }
+                const bool this_off = out == "0";
+                if (phase_known && this_off != off_phase)
+                    throw std::runtime_error("BLIF: mixed cover phases");
+                off_phase = this_off;
+                phase_known = true;
+                Cube c;
+                for (int v = 0; v < k; ++v) {
+                    if (bits[static_cast<std::size_t>(v)] == '1') c = c.with_literal(v, true);
+                    else if (bits[static_cast<std::size_t>(v)] == '0') c = c.with_literal(v, false);
+                    else if (bits[static_cast<std::size_t>(v)] != '-')
+                        throw std::runtime_error("BLIF: bad cover character");
+                }
+                on.add_cube(c);
+            }
+
+            std::vector<AigLit> fanins;
+            fanins.reserve(g.inputs.size());
+            for (const auto& s : g.inputs) fanins.push_back(signals.at(s));
+            AigLit lit = build_sop(aig, on, fanins);
+            if (phase_known && off_phase) lit = !lit;
+            if (g.cover.empty()) lit = AigLit::constant(false);  // empty cover = constant 0
+            signals[g.output] = lit;
+            done[gi] = true;
+            --remaining;
+            progress = true;
+        }
+    }
+    if (remaining > 0) throw std::runtime_error("BLIF: unresolved (cyclic or undriven) signals");
+
+    for (const auto& name : output_names) {
+        const auto it = signals.find(name);
+        if (it == signals.end()) throw std::runtime_error("BLIF: undriven output " + name);
+        aig.add_po(it->second, name);
+    }
+    return aig.cleanup();
+}
+
+Aig read_blif_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    return read_blif(in);
+}
+
+void write_blif(std::ostream& out, const Aig& aig, const std::string& model_name) {
+    out << ".model " << model_name << "\n.inputs";
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) out << " " << aig.pi_name(i);
+    out << "\n.outputs";
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) out << " " << aig.po_name(o);
+    out << "\n";
+
+    auto signal_name = [&](std::uint32_t id) {
+        if (aig.is_pi(id)) return aig.pi_name(aig.pi_index(id));
+        return "n" + std::to_string(id);
+    };
+
+    out << ".names zero__\n";  // constant-0 driver for node 0
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id)) continue;
+        const auto& n = aig.node(id);
+        const std::string a =
+            aig.is_const(n.fanin0.node()) ? "zero__" : signal_name(n.fanin0.node());
+        const std::string b =
+            aig.is_const(n.fanin1.node()) ? "zero__" : signal_name(n.fanin1.node());
+        out << ".names " << a << " " << b << " " << signal_name(id) << "\n";
+        out << (n.fanin0.complemented() ? '0' : '1') << (n.fanin1.complemented() ? '0' : '1')
+            << " 1\n";
+    }
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) {
+        const AigLit po = aig.po(o);
+        const std::string driver =
+            aig.is_const(po.node()) ? "zero__" : signal_name(po.node());
+        out << ".names " << driver << " " << aig.po_name(o) << "\n"
+            << (po.complemented() ? '0' : '1') << " 1\n";
+    }
+    out << ".end\n";
+}
+
+void write_blif_file(const std::string& path, const Aig& aig, const std::string& model_name) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    write_blif(out, aig, model_name);
+}
+
+void write_aiger(std::ostream& out, const Aig& aig) {
+    // ASCII AIGER: node i gets variable index i (literal 2i / 2i+1), which
+    // matches our internal encoding exactly (node 0 = constant false).
+    const std::size_t m = aig.num_nodes() - 1;
+    out << "aag " << m << " " << aig.num_pis() << " 0 " << aig.num_pos() << " " << aig.num_ands()
+        << "\n";
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) out << (2 * aig.pi(i)) << "\n";
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) out << aig.po(o).value << "\n";
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id)) continue;
+        const auto& n = aig.node(id);
+        out << (2 * id) << " " << n.fanin0.value << " " << n.fanin1.value << "\n";
+    }
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) out << "i" << i << " " << aig.pi_name(i) << "\n";
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) out << "o" << o << " " << aig.po_name(o) << "\n";
+}
+
+void write_aiger_file(const std::string& path, const Aig& aig) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    write_aiger(out, aig);
+}
+
+namespace {
+
+/// AIGER varint decoding: 7 bits per byte, high bit = continuation.
+std::size_t read_aiger_delta(std::istream& in) {
+    std::size_t value = 0;
+    int shift = 0;
+    while (true) {
+        const int byte = in.get();
+        if (byte < 0) throw std::runtime_error("AIGER: truncated binary section");
+        value |= static_cast<std::size_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) return value;
+        shift += 7;
+    }
+}
+
+void write_aiger_delta(std::ostream& out, std::size_t value) {
+    while (value >= 0x80) {
+        out.put(static_cast<char>(0x80 | (value & 0x7f)));
+        value >>= 7;
+    }
+    out.put(static_cast<char>(value));
+}
+
+/// Reads a binary "aig" body after the header numbers.
+Aig read_aiger_binary_body(std::istream& in, std::size_t m, std::size_t i, std::size_t o,
+                           std::size_t a) {
+    Aig aig;
+    std::vector<AigLit> var_map(m + 1, AigLit::constant(false));
+    for (std::size_t k = 1; k <= i; ++k) var_map[k] = aig.add_pi();
+
+    // Outputs are ASCII lines before the binary AND section.
+    std::vector<std::size_t> output_lits(o);
+    for (auto& lit : output_lits)
+        if (!(in >> lit) || lit / 2 > m) throw std::runtime_error("AIGER: bad output literal");
+    in.get();  // consume the newline preceding the binary section
+
+    auto resolve = [&](std::size_t lit) {
+        const AigLit base = var_map[lit / 2];
+        return (lit & 1) ? !base : base;
+    };
+    for (std::size_t k = 0; k < a; ++k) {
+        const std::size_t lhs = 2 * (i + k + 1);
+        const std::size_t delta0 = read_aiger_delta(in);
+        if (delta0 == 0 || delta0 > lhs) throw std::runtime_error("AIGER: bad delta");
+        const std::size_t rhs0 = lhs - delta0;
+        const std::size_t delta1 = read_aiger_delta(in);
+        if (delta1 > rhs0) throw std::runtime_error("AIGER: bad delta");
+        const std::size_t rhs1 = rhs0 - delta1;
+        var_map[lhs / 2] = aig.land(resolve(rhs0), resolve(rhs1));
+    }
+    for (const auto lit : output_lits) aig.add_po(resolve(lit));
+
+    // Optional symbol table (same format as ascii AIGER).
+    std::string token;
+    std::vector<std::string> po_names(o);
+    bool have_po_names = false;
+    while (in >> token) {
+        if (token == "c") break;
+        if (token.size() < 2) continue;
+        std::string name;
+        if (!std::getline(in, name)) break;
+        if (!name.empty() && name[0] == ' ') name.erase(0, 1);
+        const std::size_t index = std::strtoull(token.c_str() + 1, nullptr, 10);
+        if (token[0] == 'o' && index < o) {
+            po_names[index] = name;
+            have_po_names = true;
+        }
+    }
+    if (have_po_names) {
+        Aig renamed;
+        std::vector<AigLit> pi_map;
+        for (std::size_t k = 0; k < aig.num_pis(); ++k) pi_map.push_back(renamed.add_pi());
+        const auto outs = append_aig(renamed, aig, pi_map);
+        for (std::size_t k = 0; k < outs.size(); ++k)
+            renamed.add_po(outs[k], po_names[k].empty() ? "po" + std::to_string(k) : po_names[k]);
+        return renamed.cleanup();
+    }
+    return aig.cleanup();
+}
+
+}  // namespace
+
+void write_aiger_binary(std::ostream& out, const Aig& aig) {
+    // The binary format requires inputs at variables 1..I and contiguous
+    // AND variables above them, so renumber via a reachability pass.
+    const Aig compact = aig.cleanup();
+    const std::size_t i = compact.num_pis();
+    std::vector<std::size_t> var_of(compact.num_nodes(), 0);
+    for (std::size_t k = 0; k < i; ++k) var_of[compact.pi(k)] = k + 1;
+    std::size_t next_var = i + 1;
+    std::vector<std::uint32_t> and_nodes;
+    for (std::uint32_t id = 1; id < compact.num_nodes(); ++id)
+        if (compact.is_and(id)) {
+            var_of[id] = next_var++;
+            and_nodes.push_back(id);
+        }
+    auto lit_of = [&](AigLit l) { return 2 * var_of[l.node()] + (l.complemented() ? 1 : 0); };
+
+    const std::size_t m = next_var - 1;
+    out << "aig " << m << " " << i << " 0 " << compact.num_pos() << " " << and_nodes.size()
+        << "\n";
+    for (std::size_t k = 0; k < compact.num_pos(); ++k) out << lit_of(compact.po(k)) << "\n";
+    for (const auto id : and_nodes) {
+        const auto& n = compact.node(id);
+        const std::size_t lhs = 2 * var_of[id];
+        std::size_t rhs0 = lit_of(n.fanin0);
+        std::size_t rhs1 = lit_of(n.fanin1);
+        if (rhs0 < rhs1) std::swap(rhs0, rhs1);
+        LLS_ENSURE(lhs > rhs0 && "AIGER ordering requires fanins below the gate");
+        write_aiger_delta(out, lhs - rhs0);
+        write_aiger_delta(out, rhs0 - rhs1);
+    }
+    for (std::size_t k = 0; k < compact.num_pis(); ++k)
+        out << "i" << k << " " << compact.pi_name(k) << "\n";
+    for (std::size_t k = 0; k < compact.num_pos(); ++k)
+        out << "o" << k << " " << compact.po_name(k) << "\n";
+}
+
+void write_aiger_binary_file(const std::string& path, const Aig& aig) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open " + path);
+    write_aiger_binary(out, aig);
+}
+
+Aig read_aiger(std::istream& in) {
+    std::string magic;
+    std::size_t m = 0, i = 0, l = 0, o = 0, a = 0;
+    if (!(in >> magic >> m >> i >> l >> o >> a) || (magic != "aag" && magic != "aig"))
+        throw std::runtime_error("AIGER: bad header");
+    if (l != 0) throw std::runtime_error("AIGER: latches are not supported");
+    if (magic == "aig") return read_aiger_binary_body(in, m, i, o, a);
+
+    Aig aig;
+    // lit_map[aiger variable] -> our literal (variable v = aiger literal 2v).
+    std::vector<AigLit> var_map(m + 1, AigLit::constant(false));
+    var_map[0] = AigLit::constant(false);
+
+    std::vector<std::size_t> input_vars;
+    for (std::size_t k = 0; k < i; ++k) {
+        std::size_t lit = 0;
+        if (!(in >> lit) || (lit & 1) || lit / 2 > m)
+            throw std::runtime_error("AIGER: bad input literal");
+        var_map[lit / 2] = aig.add_pi();
+        input_vars.push_back(lit / 2);
+    }
+
+    std::vector<std::size_t> output_lits(o);
+    for (auto& lit : output_lits)
+        if (!(in >> lit) || lit / 2 > m) throw std::runtime_error("AIGER: bad output literal");
+
+    auto resolve = [&](std::size_t lit) {
+        const AigLit base = var_map[lit / 2];
+        return (lit & 1) ? !base : base;
+    };
+
+    for (std::size_t k = 0; k < a; ++k) {
+        std::size_t out_lit = 0, in0 = 0, in1 = 0;
+        if (!(in >> out_lit >> in0 >> in1) || (out_lit & 1) || out_lit / 2 > m ||
+            in0 / 2 > m || in1 / 2 > m)
+            throw std::runtime_error("AIGER: bad and line");
+        // AIGER requires fanin variables to be defined before use
+        // (out_lit > in0 >= in1 in the standard ordering).
+        var_map[out_lit / 2] = aig.land(resolve(in0), resolve(in1));
+    }
+
+    for (const auto lit : output_lits) aig.add_po(resolve(lit));
+
+    // Optional symbol table: iN / oN lines.
+    std::string token;
+    std::vector<std::string> po_names(o);
+    bool have_po_names = false;
+    while (in >> token) {
+        if (token == "c") break;  // comment section
+        if (token.size() < 2) continue;
+        std::string name;
+        if (!std::getline(in, name)) break;
+        if (!name.empty() && name[0] == ' ') name.erase(0, 1);
+        const std::size_t index = std::strtoull(token.c_str() + 1, nullptr, 10);
+        if (token[0] == 'o' && index < o) {
+            po_names[index] = name;
+            have_po_names = true;
+        }
+        // PI names are informational; our PIs keep positional names so the
+        // interface stays aligned with the literal order.
+    }
+    if (have_po_names) {
+        Aig renamed;
+        std::vector<AigLit> pi_map;
+        for (std::size_t k = 0; k < aig.num_pis(); ++k) pi_map.push_back(renamed.add_pi());
+        const auto outs = append_aig(renamed, aig, pi_map);
+        for (std::size_t k = 0; k < outs.size(); ++k)
+            renamed.add_po(outs[k], po_names[k].empty() ? "po" + std::to_string(k) : po_names[k]);
+        return renamed.cleanup();
+    }
+    return aig.cleanup();
+}
+
+Aig read_aiger_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    return read_aiger(in);
+}
+
+}  // namespace lls

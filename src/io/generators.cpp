@@ -1,0 +1,201 @@
+#include "io/generators.hpp"
+
+#include <algorithm>
+
+namespace lls {
+
+Aig ripple_carry_adder(int bits) {
+    LLS_REQUIRE(bits >= 1);
+    Aig aig;
+    std::vector<AigLit> a(static_cast<std::size_t>(bits)), b(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = aig.add_pi("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = aig.add_pi("b" + std::to_string(i));
+    AigLit carry = aig.add_pi("cin");
+
+    std::vector<AigLit> sums;
+    for (int i = 0; i < bits; ++i) {
+        const AigLit ai = a[static_cast<std::size_t>(i)];
+        const AigLit bi = b[static_cast<std::size_t>(i)];
+        const AigLit p = aig.lxor(ai, bi);
+        sums.push_back(aig.lxor(p, carry));
+        // carry_out = a*b + carry*(a^b)
+        carry = aig.lor(aig.land(ai, bi), aig.land(carry, p));
+    }
+    for (int i = 0; i < bits; ++i) aig.add_po(sums[static_cast<std::size_t>(i)], "sum" + std::to_string(i));
+    aig.add_po(carry, "cout");
+    return aig;
+}
+
+Aig carry_lookahead_adder(int bits) {
+    LLS_REQUIRE(bits >= 1);
+    Aig aig;
+    std::vector<AigLit> a(static_cast<std::size_t>(bits)), b(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = aig.add_pi("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = aig.add_pi("b" + std::to_string(i));
+    const AigLit cin = aig.add_pi("cin");
+
+    // Bit-slice generate/propagate; the carry-in is folded in as an extra
+    // (G, P) = (cin, 0) prefix element so carries come straight off the tree.
+    std::vector<AigLit> g(static_cast<std::size_t>(bits) + 1), p(static_cast<std::size_t>(bits) + 1);
+    g[0] = cin;
+    p[0] = AigLit::constant(false);
+    std::vector<AigLit> xor_ab(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) {
+        const AigLit ai = a[static_cast<std::size_t>(i)];
+        const AigLit bi = b[static_cast<std::size_t>(i)];
+        g[static_cast<std::size_t>(i) + 1] = aig.land(ai, bi);
+        xor_ab[static_cast<std::size_t>(i)] = aig.lxor(ai, bi);
+        p[static_cast<std::size_t>(i) + 1] = xor_ab[static_cast<std::size_t>(i)];
+    }
+
+    // Sklansky prefix tree over (G, P) with (G2,P2)o(G1,P1) = (G2+P2G1, P2P1).
+    const int n = bits + 1;
+    std::vector<AigLit> G = g, P = p;
+    for (int dist = 1; dist < n; dist *= 2) {
+        std::vector<AigLit> nextG = G, nextP = P;
+        for (int i = 0; i < n; ++i) {
+            // Sklansky: node i combines with the block root when the bit at
+            // `dist` position of i is set.
+            if ((i / dist) % 2 == 1) {
+                const int j = (i / dist) * dist - 1;  // end of previous block
+                nextG[static_cast<std::size_t>(i)] =
+                    aig.lor(G[static_cast<std::size_t>(i)],
+                            aig.land(P[static_cast<std::size_t>(i)], G[static_cast<std::size_t>(j)]));
+                nextP[static_cast<std::size_t>(i)] =
+                    aig.land(P[static_cast<std::size_t>(i)], P[static_cast<std::size_t>(j)]);
+            }
+        }
+        G = std::move(nextG);
+        P = std::move(nextP);
+    }
+    // After the tree, G[i] is the carry into bit i (G[i] = C_i).
+    for (int i = 0; i < bits; ++i)
+        aig.add_po(aig.lxor(xor_ab[static_cast<std::size_t>(i)], G[static_cast<std::size_t>(i)]),
+                   "sum" + std::to_string(i));
+    aig.add_po(G[static_cast<std::size_t>(bits)], "cout");
+    return aig;
+}
+
+Aig carry_select_adder(int bits, int block) {
+    LLS_REQUIRE(bits >= 1 && block >= 1);
+    Aig aig;
+    std::vector<AigLit> a(static_cast<std::size_t>(bits)), b(static_cast<std::size_t>(bits));
+    for (int i = 0; i < bits; ++i) a[static_cast<std::size_t>(i)] = aig.add_pi("a" + std::to_string(i));
+    for (int i = 0; i < bits; ++i) b[static_cast<std::size_t>(i)] = aig.add_pi("b" + std::to_string(i));
+    const AigLit cin = aig.add_pi("cin");
+
+    std::vector<AigLit> sums(static_cast<std::size_t>(bits));
+    AigLit carry = cin;
+    for (int lo = 0; lo < bits; lo += block) {
+        const int hi = std::min(bits, lo + block);
+        // Compute the block twice: carry-in 0 and carry-in 1.
+        std::vector<AigLit> sum0, sum1;
+        AigLit c0 = AigLit::constant(false), c1 = AigLit::constant(true);
+        for (int i = lo; i < hi; ++i) {
+            const AigLit ai = a[static_cast<std::size_t>(i)];
+            const AigLit bi = b[static_cast<std::size_t>(i)];
+            const AigLit pi = aig.lxor(ai, bi);
+            sum0.push_back(aig.lxor(pi, c0));
+            sum1.push_back(aig.lxor(pi, c1));
+            c0 = aig.lor(aig.land(ai, bi), aig.land(c0, pi));
+            c1 = aig.lor(aig.land(ai, bi), aig.land(c1, pi));
+        }
+        for (int i = lo; i < hi; ++i)
+            sums[static_cast<std::size_t>(i)] =
+                aig.lmux(carry, sum1[static_cast<std::size_t>(i - lo)],
+                         sum0[static_cast<std::size_t>(i - lo)]);
+        carry = aig.lmux(carry, c1, c0);
+    }
+    for (int i = 0; i < bits; ++i) aig.add_po(sums[static_cast<std::size_t>(i)], "sum" + std::to_string(i));
+    aig.add_po(carry, "cout");
+    return aig;
+}
+
+Aig synthetic_control_circuit(const BenchmarkProfile& profile) {
+    LLS_REQUIRE(profile.num_pis >= 4 && profile.num_pos >= 1);
+    Rng rng(profile.seed);
+    Aig aig;
+    std::vector<AigLit> pis;
+    pis.reserve(static_cast<std::size_t>(profile.num_pis));
+    for (int i = 0; i < profile.num_pis; ++i) pis.push_back(aig.add_pi());
+
+    auto pick = [&](const std::vector<AigLit>& pool) {
+        AigLit l = pool[rng.next_below(pool.size())];
+        return rng.next_below(4) == 0 ? !l : l;
+    };
+
+    // Shared intermediate signals: shallow random gating logic over the PIs,
+    // reused across many chains (non-disjoint support / logic sharing).
+    std::vector<AigLit> shared;
+    const int num_shared = std::max(4, profile.num_shared);
+    for (int i = 0; i < num_shared; ++i) {
+        const std::vector<AigLit>& pool = shared.size() >= 4 && rng.next_bool() ? shared : pis;
+        const AigLit x = pick(pool);
+        const AigLit y = pick(pis);
+        switch (rng.next_below(3)) {
+            case 0: shared.push_back(aig.land(x, y)); break;
+            case 1: shared.push_back(aig.lor(x, y)); break;
+            default: shared.push_back(aig.lxor(x, y)); break;
+        }
+    }
+
+    // Rippling control chains: each step folds the chain state with fresh
+    // gating signals through select/enable/toggle-style operators -- the
+    // late-arriving-signal structure that motivates the paper's technique.
+    std::vector<AigLit> taps;  // intermediate chain states other chains can reuse
+    std::vector<AigLit> outputs;
+    for (int o = 0; o < profile.num_pos; ++o) {
+        AigLit state = !taps.empty() && rng.next_below(3) == 0 ? pick(taps) : pick(shared);
+        const int length =
+            1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+                    std::max(2, profile.chain_length))));
+        for (int step = 0; step < length; ++step) {
+            const AigLit x = pick(shared);
+            const AigLit y = pick(pis);
+            switch (rng.next_below(4)) {
+                case 0:  // select: late `state` steers a mux
+                    state = aig.lmux(state, x, y);
+                    break;
+                case 1:  // enable chain: state AND fresh condition
+                    state = aig.land(state, aig.lor(x, y));
+                    break;
+                case 2:  // release chain: state OR fresh condition
+                    state = aig.lor(state, aig.land(x, y));
+                    break;
+                default:  // toggle: parity-style propagation
+                    state = aig.lxor(state, aig.land(x, y));
+                    break;
+            }
+            if (rng.next_below(3) == 0) taps.push_back(state);
+        }
+        outputs.push_back(state);
+    }
+    for (int o = 0; o < profile.num_pos; ++o)
+        aig.add_po(outputs[static_cast<std::size_t>(o)]);
+    return aig.cleanup();
+}
+
+std::vector<BenchmarkProfile> table2_profiles() {
+    // PI/PO counts follow Table 2 of the paper (MCNC, ISCAS85 and flattened
+    // OpenSPARC T1 control modules); chain/sharing parameters are scaled to
+    // give each stand-in a size and depth profile comparable to its original.
+    return {
+        {"rot", 135, 107, 12, 60, 101},
+        {"dalu", 75, 16, 14, 40, 102},
+        {"i10", 257, 224, 12, 120, 103},
+        {"C432", 36, 7, 16, 20, 104},
+        {"C880", 60, 26, 14, 30, 105},
+        {"C3540", 50, 22, 16, 28, 106},
+        {"C5315", 178, 123, 12, 80, 107},
+        {"sparc_exu_ecl_flat", 572, 351, 10, 200, 108},
+        {"lsu_stb_ctl_flat", 182, 74, 12, 80, 109},
+        {"sparc_ifu_dcl_flat", 136, 72, 12, 60, 110},
+        {"sparc_ifu_dec_flat", 131, 52, 12, 60, 111},
+        {"lsu_excpctl_flat", 251, 92, 12, 100, 112},
+        {"sparc_tlu_intctl_flat", 82, 39, 14, 40, 113},
+        {"sparc_ifu_fcl_flat", 465, 183, 10, 160, 114},
+        {"tlu_hyperv_flat", 449, 167, 10, 160, 115},
+    };
+}
+
+}  // namespace lls

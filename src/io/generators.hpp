@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "common/rng.hpp"
+
+namespace lls {
+
+/// n-bit ripple-carry adder: PIs a0..a(n-1), b0..b(n-1), cin; POs
+/// sum0..sum(n-1), cout. The canonical slow adder of the paper's case study
+/// (Sec. 4) and of Table 1.
+Aig ripple_carry_adder(int bits);
+
+/// n-bit carry-lookahead adder with a Sklansky parallel-prefix carry tree:
+/// the "Optimum" reference row of Table 1.
+Aig carry_lookahead_adder(int bits);
+
+/// n-bit carry-select adder (blocks of `block` bits computed for both carry
+/// values and selected): one of the classic fast adders the decomposition
+/// rediscovers.
+Aig carry_select_adder(int bits, int block = 4);
+
+/// Profile of a synthetic multi-level control-logic benchmark; stands in
+/// for an MCNC/ISCAS/OpenSPARC circuit (see DESIGN.md, "Substitutions").
+struct BenchmarkProfile {
+    std::string name;
+    int num_pis = 0;
+    int num_pos = 0;
+    int chain_length = 12;   ///< depth of the rippling control chains
+    int num_shared = 0;      ///< shared intermediate signals (logic sharing)
+    std::uint64_t seed = 1;
+};
+
+/// Generates irregular multi-level control logic with the structural
+/// features the paper calls out: multiple critical paths, non-disjoint
+/// support, logic sharing, and late-arriving chain signals (priority /
+/// select-style cascades interleaved with random gating).
+Aig synthetic_control_circuit(const BenchmarkProfile& profile);
+
+/// The fifteen Table 2 benchmark profiles (PI/PO counts follow the paper's
+/// circuits; the logic itself is synthetic — the originals are not
+/// redistributable).
+std::vector<BenchmarkProfile> table2_profiles();
+
+}  // namespace lls

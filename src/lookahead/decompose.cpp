@@ -1,0 +1,277 @@
+#include "lookahead/decompose.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "aig/aig_build.hpp"
+#include "cec/cec.hpp"
+#include "common/bitops.hpp"
+#include "lookahead/reduce.hpp"
+#include "lookahead/simplify.hpp"
+#include "network/network.hpp"
+#include "spcf/spcf.hpp"
+
+namespace lls {
+
+namespace {
+
+/// Two-input AND truth table (minterm 3 only).
+TruthTable and2_tt() {
+    TruthTable tt(2);
+    tt.set_bit(3, true);
+    return tt;
+}
+
+Signature complement_signature(Signature s, std::size_t num_patterns) {
+    for (auto& w : s) w = ~w;
+    s.back() &= tail_mask(num_patterns);
+    return s;
+}
+
+bool signature_implies(const Signature& a, const Signature& b) {
+    for (std::size_t w = 0; w < a.size(); ++w)
+        if (a[w] & ~b[w]) return false;
+    return true;
+}
+
+}  // namespace
+
+std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
+                                                 Rng& rng) {
+    LLS_REQUIRE(cone.num_pos() == 1);
+    const int old_depth = cone.depth();
+    if (old_depth < 2) return std::nullopt;
+
+    // --- 1. SPCF from floating-mode timing simulation -----------------------
+    const bool exhaustive =
+        cone.num_pis() <= SimPatterns::kMaxExhaustivePis && !params.force_random_patterns;
+    const SimPatterns patterns =
+        exhaustive ? SimPatterns::exhaustive(cone.num_pis())
+                   : SimPatterns::random(cone.num_pis(), params.num_random_patterns, rng);
+    const auto aig_sigs = simulate(cone, patterns);
+    const Spcf spcf = compute_spcf(cone, patterns, aig_sigs, /*delta=*/0);
+    const std::int32_t delta = std::max<std::int32_t>(1, spcf.max_arrival - params.spcf_slack);
+    const Spcf spcf_at_delta = delta == spcf.delta
+                                   ? spcf
+                                   : compute_spcf(cone, patterns, aig_sigs, delta);
+    const Signature& spcf_sig = spcf_at_delta.po_spcf[0];
+    if (spcf_at_delta.empty(0)) return std::nullopt;
+
+    // --- 2. cluster into a technology-independent network -------------------
+    Network net = Network::from_aig(cone, params.cut_size, params.max_cuts);
+    std::vector<Signature> sigs = net.simulate(patterns);
+    const std::uint32_t y_orig = net.po(0).node;
+    if (!net.is_internal(y_orig)) return std::nullopt;
+
+    auto extend_sigs_for_copies = [&](const std::vector<std::uint32_t>& mapping,
+                                      std::size_t old_size) {
+        sigs.resize(net.num_nodes());
+        for (std::uint32_t old_id = 0; old_id < old_size; ++old_id) {
+            const std::uint32_t new_id = mapping[old_id];
+            if (new_id != old_id) sigs[new_id] = sigs[old_id];
+        }
+    };
+
+    // --- 3. primary simplification -> y0 and the windows --------------------
+    std::vector<std::uint32_t> primary_map;
+    const std::size_t size_before_primary = net.num_nodes();
+    const std::uint32_t y0_root = net.duplicate_cone(y_orig, &primary_map);
+    extend_sigs_for_copies(primary_map, size_before_primary);
+
+    const ReduceResult reduced =
+        reduce_cone(net, y0_root, sigs, patterns.num_patterns(), spcf_sig);
+    if (!reduced.improved || reduced.windows.empty()) return std::nullopt;
+
+    // Window nodes: one agreement node per marked node, conjoined by a
+    // balanced AND tree into Sigma_1.
+    std::vector<std::uint32_t> window_nodes;
+    window_nodes.reserve(reduced.windows.size());
+    for (const auto& [marked_node, window_tt] : reduced.windows) {
+        std::vector<std::uint32_t> fanins = net.fanins(marked_node);
+        const std::uint32_t w = net.add_node(std::move(fanins), window_tt);
+        sigs.resize(net.num_nodes());
+        sigs[w] = net.eval_node_signature(w, sigs, patterns.num_patterns());
+        window_nodes.push_back(w);
+    }
+    while (window_nodes.size() > 1) {
+        std::vector<std::uint32_t> next;
+        for (std::size_t i = 0; i + 1 < window_nodes.size(); i += 2) {
+            const std::uint32_t a =
+                net.add_node({window_nodes[i], window_nodes[i + 1]}, and2_tt());
+            sigs.resize(net.num_nodes());
+            sigs[a] = net.eval_node_signature(a, sigs, patterns.num_patterns());
+            next.push_back(a);
+        }
+        if (window_nodes.size() % 2) next.push_back(window_nodes.back());
+        window_nodes = std::move(next);
+    }
+    const std::uint32_t sigma = window_nodes[0];
+    const Signature not_sigma = complement_signature(sigs[sigma], patterns.num_patterns());
+
+    // --- 4. secondary simplification -> y1 ---------------------------------
+    std::vector<std::uint32_t> secondary_map;
+    const std::size_t size_before_secondary = net.num_nodes();
+    const std::uint32_t y1_root = net.duplicate_cone(y_orig, &secondary_map);
+    extend_sigs_for_copies(secondary_map, size_before_secondary);
+
+    if (params.secondary_simplification) {
+        // With random patterns a zero sampled weight is only evidence; every
+        // cube drop must be proven unreachable under !Sigma_1 by SAT before
+        // it becomes a don't-care (DESIGN.md, "Key algorithmic decisions").
+        const bool need_sat = !patterns.is_exhaustive();
+        sat::Solver solver;
+        std::vector<sat::Lit> net_sat_lit;
+        if (need_sat) {
+            std::vector<AigLit> node_map;
+            const Aig snapshot = net.to_aig_with_map(&node_map);
+            std::vector<int> pi_vars(snapshot.num_pis());
+            for (auto& v : pi_vars) v = solver.new_var();
+            const auto aig_lits = encode_aig_nodes(snapshot, solver, pi_vars);
+            net_sat_lit.resize(net.num_nodes());
+            for (std::uint32_t id = 0; id < net.num_nodes(); ++id)
+                net_sat_lit[id] = sat_lit_of(aig_lits, node_map[id]);
+        }
+
+        auto minterm_provably_unreachable = [&](std::uint32_t node, std::uint32_t minterm) {
+            if (patterns.is_exhaustive()) return true;  // sampled absence is exact
+            std::vector<sat::Lit> assumptions{!net_sat_lit[sigma]};
+            const auto& fanins = net.fanins(node);
+            for (std::size_t f = 0; f < fanins.size(); ++f) {
+                const sat::Lit l = net_sat_lit[fanins[f]];
+                assumptions.push_back(((minterm >> f) & 1) ? l : !l);
+            }
+            return solver.solve(assumptions, params.sat_conflict_limit) == sat::Status::Unsat;
+        };
+
+        const auto y1_levels = net.compute_sop_levels();
+        for (const auto node : net.cone_of(y1_root)) {
+            if (y1_levels[node] == 0) continue;  // already a literal/constant
+            const TruthTable& f = net.function(node);
+            const int k = f.num_vars();
+            const auto& fanins = net.fanins(node);
+
+            // Fanin-space minterms that some !Sigma_1 pattern actually
+            // reaches; everything else is a don't-care candidate.
+            TruthTable reached(k);
+            for (std::size_t w = 0; w < not_sigma.size(); ++w) {
+                std::uint64_t bits = not_sigma[w];
+                while (bits) {
+                    const int b = std::countr_zero(bits);
+                    bits &= bits - 1;
+                    std::uint32_t minterm = 0;
+                    for (std::size_t fi = 0; fi < fanins.size(); ++fi)
+                        if ((sigs[fanins[fi]][w] >> b) & 1) minterm |= 1u << fi;
+                    reached.set_bit(minterm, true);
+                }
+            }
+            TruthTable dc(k);
+            for (std::uint32_t m = 0; m < (1u << k); ++m) {
+                if (reached.get_bit(m)) continue;
+                if (minterm_provably_unreachable(node, m)) dc.set_bit(m, true);
+            }
+            if (dc.is_const0()) continue;
+            const TruthTable new_f = minimum_sop(f & ~dc, dc).to_truth_table();
+            if (!(new_f == f)) net.set_function(node, new_f);
+        }
+    }
+
+    // --- 5. reconstruction with implication rules ---------------------------
+    std::vector<AigLit> node_map;
+    Aig full = net.to_aig_with_map(&node_map);
+    const AigLit s = node_map[sigma];
+    const AigLit a = node_map[y0_root];  // equals y when Sigma_1 = 1
+    const AigLit b = node_map[y1_root];  // equals y when Sigma_1 = 0
+    const AigLit base = full.lmux(s, a, b);
+
+    const auto full_sigs = simulate(full, patterns);
+    auto lit_sig = [&](AigLit lit) {
+        return literal_signature(full, lit, full_sigs, patterns.num_patterns());
+    };
+
+    // Implication oracle: signature screen first (sound for refutation),
+    // exhaustive patterns prove directly, otherwise SAT proves.
+    sat::Solver impl_solver;
+    std::vector<sat::Lit> full_sat;
+    bool impl_solver_ready = false;
+    auto ensure_impl_solver = [&]() {
+        if (impl_solver_ready) return;
+        std::vector<int> pi_vars(full.num_pis());
+        for (auto& v : pi_vars) v = impl_solver.new_var();
+        full_sat = encode_aig_nodes(full, impl_solver, pi_vars);
+        impl_solver_ready = true;
+    };
+    auto implies = [&](AigLit x, AigLit y) {
+        if (!signature_implies(lit_sig(x), lit_sig(y))) return false;
+        if (patterns.is_exhaustive()) return true;
+        ensure_impl_solver();
+        return impl_solver.solve({sat_lit_of(full_sat, x), sat_lit_of(full_sat, !y)},
+                                 params.sat_conflict_limit) == sat::Status::Unsat;
+    };
+
+    struct Candidate {
+        AigLit lit;
+        std::string rule;
+    };
+    std::vector<Candidate> candidates{{base, "base mux"}};
+    if (params.use_implication_rules) {
+        if (a == b) candidates.push_back({a, "y0 == y1"});
+        if (a == AigLit::constant(false)) candidates.push_back({full.land(!s, b), "y0 == 0"});
+        if (a == AigLit::constant(true)) candidates.push_back({full.lor(s, b), "y0 == 1"});
+        if (b == AigLit::constant(false)) candidates.push_back({full.land(s, a), "y1 == 0"});
+        if (b == AigLit::constant(true)) candidates.push_back({full.lor(!s, a), "y1 == 1"});
+        const bool a_implies_f = implies(a, base);
+        const bool b_implies_f = implies(b, base);
+        const bool f_implies_a = implies(base, a);
+        const bool f_implies_b = implies(base, b);
+        if (a_implies_f) candidates.push_back({full.lor(a, full.land(!s, b)), "y0 => y"});
+        if (b_implies_f) candidates.push_back({full.lor(b, full.land(s, a)), "y1 => y"});
+        if (a_implies_f && b_implies_f) candidates.push_back({full.lor(a, b), "y0+y1"});
+        if (f_implies_a) candidates.push_back({full.land(a, full.lor(s, b)), "y => y0"});
+        if (f_implies_b) candidates.push_back({full.land(b, full.lor(!s, a)), "y => y1"});
+        if (f_implies_a && f_implies_b) candidates.push_back({full.land(a, b), "y0*y1"});
+        // Rules relating the window itself to the branch functions:
+        //   S => y0   : S*y0 = S,         y = S + y1   (window forces y0)
+        //   S => !y0  : S*y0 = 0,         y = !S*y1
+        //   !S => y1  : !S*y1 = !S,       y = !S + y0
+        //   !S => !y1 : !S*y1 = 0,        y = S*y0
+        if (implies(s, a)) candidates.push_back({full.lor(s, b), "S => y0"});
+        if (implies(s, !a)) candidates.push_back({full.land(!s, b), "S => !y0"});
+        if (implies(!s, b)) candidates.push_back({full.lor(!s, a), "!S => y1"});
+        if (implies(!s, !b)) candidates.push_back({full.land(s, a), "!S => !y1"});
+    }
+
+    const auto levels = full.compute_levels();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i)
+        if (levels[candidates[i].lit.node()] < levels[candidates[best].lit.node()]) best = i;
+
+    const AigLit chosen = net.po(0).complemented ? !candidates[best].lit : candidates[best].lit;
+    full.add_po(chosen, cone.po_name(0));
+    Aig result = extract_cone(full, full.num_pos() - 1);
+
+    // --- 6. verify and accept ------------------------------------------------
+    // Equal-depth results are accepted too: they re-express the cone in
+    // window/mux form, which the interleaved restructuring rounds of
+    // optimize_timing can then flatten across decomposition levels
+    // (the telescoping of the paper's Eqn. 2).
+    const int new_depth = result.depth();
+    if (getenv("LLS_DEBUG"))
+        fprintf(stderr, "[decompose] old=%d new=%d rule=%s sigma_lvl=%d y0_lvl=%d y1_lvl=%d\n",
+                old_depth, new_depth, candidates[best].rule.c_str(), levels[s.node()],
+                levels[a.node()], levels[b.node()]);
+    if (new_depth > old_depth) return std::nullopt;
+    const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000);
+    if (!cec.resolved || !cec.equivalent) return std::nullopt;
+
+    DecomposeOutcome outcome;
+    outcome.aig = std::move(result);
+    outcome.old_depth = old_depth;
+    outcome.new_depth = new_depth;
+    outcome.num_windows = static_cast<int>(reduced.windows.size());
+    outcome.reconstruction = candidates[best].rule;
+    return outcome;
+}
+
+}  // namespace lls

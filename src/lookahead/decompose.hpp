@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "aig/aig.hpp"
+#include "common/rng.hpp"
+#include "lookahead/params.hpp"
+
+namespace lls {
+
+/// Result of one level of lookahead decomposition on a single-output cone.
+struct DecomposeOutcome {
+    Aig aig;  ///< improved cone, same PI interface, one PO
+    int old_depth = 0;
+    int new_depth = 0;
+    int num_windows = 0;         ///< nodes whose agreement window feeds Sigma_1
+    std::string reconstruction;  ///< implication rule used to rebuild y
+};
+
+/// Performs one level of the paper's timing-driven decomposition
+/// y = Sigma_1*y0 + !Sigma_1*y1 on a single-output AIG:
+///
+///  1. computes the SPCF by floating-mode timing simulation,
+///  2. clusters the cone into a technology-independent network,
+///  3. primary simplification (`Reduce`/`Simplify`) on a duplicated cone
+///     -> y0 and the window function Sigma_1,
+///  4. secondary simplification of a second duplicate against !Sigma_1
+///     (zero-weight cubes become don't-cares; with sampled patterns each
+///     drop is additionally proven safe by SAT) -> y1,
+///  5. reconstruction with the implication-rule library, picking the
+///     lowest-depth correct form,
+///  6. verification (CEC) of the result against the input cone.
+///
+/// Returns nullopt when no depth improvement is found.
+std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
+                                                 Rng& rng);
+
+}  // namespace lls

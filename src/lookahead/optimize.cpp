@@ -1,0 +1,208 @@
+#include "lookahead/optimize.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "aig/aig_build.hpp"
+#include "baseline/restructure.hpp"
+#include "cec/cec.hpp"
+#include "common/stopwatch.hpp"
+#include "lookahead/decompose.hpp"
+
+namespace lls {
+
+namespace {
+
+/// One round of conventional delay-oriented restructuring (the "existing
+/// logic optimization algorithms" the paper's technique complements).
+Aig restructure_round(const Aig& aig) {
+    RestructureOptions delay_opt;
+    delay_opt.delay_oriented = true;
+    delay_opt.cut_size = 8;
+    return balance(restructure(aig, delay_opt));
+}
+
+bool better(const Aig& a, const Aig& b) {
+    const int da = a.depth(), db = b.depth();
+    return da < db || (da == db && a.count_reachable_ands() < b.count_reachable_ands());
+}
+
+}  // namespace
+
+Aig optimize_timing(const Aig& input, const LookaheadParams& params, OptimizeStats* stats) {
+    Rng rng(params.seed);
+    const Aig original = input.cleanup();
+    Stopwatch budget_clock;
+    auto out_of_budget = [&]() {
+        return params.time_budget_seconds > 0.0 &&
+               budget_clock.elapsed_seconds() > params.time_budget_seconds;
+    };
+
+    OptimizeStats local;
+    local.initial_depth = original.depth();
+    local.initial_ands = original.count_reachable_ands();
+    const std::size_t and_budget = 8 * std::max<std::size_t>(local.initial_ands, 64);
+
+    Aig best = original;
+
+    // Each iteration applies one level of lookahead decomposition to every
+    // critical output, then (optionally) rounds of conventional
+    // restructuring that flatten the freshly built window/mux logic — the
+    // step that turns iterated single-level decompositions into the
+    // prefix-style trees of the paper's Eqn. 2. An iteration that keeps the
+    // depth flat is tolerated for a bounded number of rounds (the rewrite
+    // into window form often pays off only once a later round flattens the
+    // nested windows); the best circuit seen anywhere is what is returned.
+    // Above this size, SAT sweeping and CEC run per *pass* instead of per
+    // iteration (every per-cone decomposition is CEC-verified regardless,
+    // and the returned circuit is always verified against the input).
+    constexpr std::size_t kPerIterationCheckLimit = 1500;
+
+    auto run_decomposition_loop = [&](Aig current) {
+        int plateau = 0;
+        constexpr int kMaxPlateau = 2;
+        bool touched = false;
+        for (int iter = 0; iter < params.max_iterations && !out_of_budget(); ++iter) {
+            const int depth = current.depth();
+            if (depth < 2) break;
+            const auto levels = current.compute_levels();
+
+            // Rebuild the circuit output by output; critical cones go
+            // through the decomposition, everything else is copied (sharing
+            // is recovered by structural hashing and the SAT sweep).
+            Aig next;
+            std::vector<AigLit> pi_map;
+            pi_map.reserve(current.num_pis());
+            for (std::size_t i = 0; i < current.num_pis(); ++i)
+                pi_map.push_back(next.add_pi(current.pi_name(i)));
+            const auto original_pos = append_aig(next, current, pi_map);
+
+            // POs sharing a driver are decomposed once; a complemented
+            // sibling reuses the result with an inverted output.
+            std::unordered_map<std::uint32_t, std::optional<AigLit>> done_nodes;
+
+            int improved_outputs = 0;
+            for (std::size_t o = 0; o < current.num_pos(); ++o) {
+                AigLit po_lit = original_pos[o];
+                const AigLit driver = current.po(o);
+                if (levels[driver.node()] == depth && !out_of_budget()) {
+                    const auto cached = done_nodes.find(driver.node());
+                    if (cached != done_nodes.end()) {
+                        if (cached->second) {
+                            const AigLit base = *cached->second;
+                            po_lit = driver.complemented() ? !base : base;
+                            ++improved_outputs;
+                        }
+                    } else {
+                        const Aig cone = extract_cone(current, o);
+                        std::optional<AigLit> rebuilt;
+                        if (auto outcome = decompose_output(cone, params, rng)) {
+                            const auto new_outs = append_aig(next, outcome->aig, pi_map);
+                            po_lit = new_outs[0];
+                            // Cache the uncomplemented-driver form.
+                            rebuilt = driver.complemented() ? !new_outs[0] : new_outs[0];
+                            ++improved_outputs;
+                            local.log.push_back(
+                                "iter " + std::to_string(iter) + " po " + current.po_name(o) +
+                                ": depth " + std::to_string(outcome->old_depth) + " -> " +
+                                std::to_string(outcome->new_depth) + " (" +
+                                std::to_string(outcome->num_windows) + " windows, " +
+                                outcome->reconstruction + ")");
+                        }
+                        done_nodes.emplace(driver.node(), rebuilt);
+                    }
+                }
+                next.add_po(po_lit, current.po_name(o));
+            }
+
+            Aig candidate = next.cleanup();
+            if (params.baseline_preoptimize) {
+                for (int r = 0; r < 10; ++r) {
+                    Aig restructured = restructure_round(candidate);
+                    if (restructured.depth() >= candidate.depth()) break;
+                    candidate = std::move(restructured);
+                }
+            }
+            const bool small = candidate.count_reachable_ands() <= kPerIterationCheckLimit;
+            if (params.area_recovery && small) candidate = sat_sweep(candidate, rng);
+
+            const int candidate_depth = candidate.depth();
+            if (candidate_depth > depth) break;  // regression: keep the best seen
+            if (candidate_depth == depth) {
+                if (improved_outputs == 0 || ++plateau > kMaxPlateau) break;
+            } else {
+                plateau = 0;
+            }
+            if (candidate.count_reachable_ands() > and_budget) break;  // runaway duplication
+
+            if (params.verify_each_iteration && small) {
+                const CecResult cec =
+                    check_equivalence(candidate, current, /*conflict_limit=*/1000000);
+                if (!cec.resolved || !cec.equivalent) {
+                    // A failed or unresolved check means this round cannot
+                    // be trusted; keep the last verified circuit.
+                    local.verified = local.verified && cec.resolved;
+                    break;
+                }
+            }
+
+            local.outputs_decomposed += improved_outputs;
+            ++local.iterations;
+            touched = true;
+            current = std::move(candidate);
+            if (better(current, best)) best = current;
+        }
+
+        // Pass-level area recovery and verification for circuits that were
+        // too large for per-iteration checks.
+        if (touched && best.count_reachable_ands() > kPerIterationCheckLimit) {
+            if (params.area_recovery) {
+                Aig swept = sat_sweep(best, rng);
+                if (!better(best, swept)) best = std::move(swept);
+            }
+            if (params.verify_each_iteration) {
+                const CecResult cec =
+                    check_equivalence(best, original, /*conflict_limit=*/4000000);
+                if (!cec.resolved || !cec.equivalent) {
+                    local.verified = local.verified && cec.resolved;
+                    best = original;  // cannot trust anything from this pass
+                }
+            }
+        }
+    };
+
+    // Pass 1: decomposition starting from the raw circuit (deep chains are
+    // where the windows are easiest to find).
+    run_decomposition_loop(original);
+
+    // Pass 2: conventional restructuring alone, then decomposition on top
+    // of it — the paper's deployment ("complements existing logic
+    // optimization algorithms"). Whichever pass wins is returned.
+    if (params.baseline_preoptimize) {
+        Aig preopt = balance(original);
+        if (better(preopt, best)) best = preopt;
+        for (int r = 0; r < 10; ++r) {
+            Aig restructured = restructure_round(preopt);
+            if (params.area_recovery) restructured = sat_sweep(restructured, rng);
+            if (restructured.depth() >= preopt.depth()) break;
+            preopt = std::move(restructured);
+        }
+        if (params.verify_each_iteration) {
+            const CecResult cec = check_equivalence(preopt, original, /*conflict_limit=*/1000000);
+            if (!cec.resolved || !cec.equivalent) {
+                local.verified = local.verified && cec.resolved;
+                preopt = original;
+            }
+        }
+        if (better(preopt, best)) best = preopt;
+        if (preopt.depth() < original.depth()) run_decomposition_loop(preopt);
+    }
+
+    local.final_depth = best.depth();
+    local.final_ands = best.count_reachable_ands();
+    if (stats) *stats = local;
+    return best;
+}
+
+}  // namespace lls

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "lookahead/params.hpp"
+
+namespace lls {
+
+/// Statistics of a full lookahead optimization run.
+struct OptimizeStats {
+    int initial_depth = 0;
+    int final_depth = 0;
+    std::size_t initial_ands = 0;
+    std::size_t final_ands = 0;
+    int iterations = 0;            ///< accepted decomposition levels
+    int outputs_decomposed = 0;    ///< per-output decompositions accepted (total)
+    bool verified = true;          ///< every accepted step passed CEC
+    std::vector<std::string> log;  ///< human-readable per-iteration notes
+};
+
+/// The paper's full timing-driven optimization flow: iterates one level of
+/// lookahead decomposition per round over every PO whose cone reaches the
+/// current critical depth, rebuilds the circuit, recovers area by SAT
+/// sweeping, and verifies each accepted round by CEC. Iterations stop when
+/// no output improves or `params.max_iterations` is reached.
+Aig optimize_timing(const Aig& input, const LookaheadParams& params = {},
+                    OptimizeStats* stats = nullptr);
+
+}  // namespace lls

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+namespace lls {
+
+/// Knobs of the lookahead synthesis flow. The defaults reproduce the
+/// paper's configuration; several switches exist purely for the ablation
+/// benchmarks documented in DESIGN.md.
+struct LookaheadParams {
+    // Clustering (AIG -> technology-independent network, the "renode" step).
+    int cut_size = 5;
+    int max_cuts = 8;
+
+    /// Run conventional delay-oriented restructuring (balance + cut-based
+    /// resynthesis) before and between decomposition rounds. The paper's
+    /// technique "complements existing logic optimization algorithms" and
+    /// was implemented inside ABC on top of its scripts; this switch
+    /// reproduces that setting (and is an ablation knob).
+    bool baseline_preoptimize = true;
+
+    // Simulation-based SPCF / cube weights.
+    std::size_t num_random_patterns = 1024;
+    /// Ablation: use random patterns even when the PI count permits
+    /// exhaustive (exact) simulation, exercising the sampled-SPCF +
+    /// SAT-verified-don't-care path on small circuits.
+    bool force_random_patterns = false;
+    std::uint64_t seed = 1;
+    /// SPCF threshold slack: SPCF collects patterns with sensitized arrival
+    /// >= (max_arrival - spcf_slack); 0 = strictly critical paths.
+    std::int32_t spcf_slack = 0;
+
+    // SAT budgets.
+    std::int64_t sat_conflict_limit = 2000;
+
+    /// Use the implication-rule library when reconstructing
+    /// y = S*y0 + !S*y1 (ablation switch; the paper's Sec. 3.1
+    /// "Reconstructing y").
+    bool use_implication_rules = true;
+
+    /// Run the secondary simplification (ablation switch; without it y1
+    /// stays the original function).
+    bool secondary_simplification = true;
+
+    /// Run SAT sweeping as area recovery after each reconstruction.
+    bool area_recovery = true;
+
+    /// Outer loop bound: each iteration adds one level of lookahead
+    /// decomposition (Sigma_1, Sigma_2, ... in the paper's notation).
+    int max_iterations = 10;
+
+    /// Verify every accepted iteration against the previous circuit by CEC.
+    bool verify_each_iteration = true;
+
+    /// Wall-clock budget in seconds for the whole optimization (0 = none).
+    /// When exceeded, no further decompositions are attempted; the best
+    /// verified circuit found so far is returned.
+    double time_budget_seconds = 0.0;
+};
+
+}  // namespace lls

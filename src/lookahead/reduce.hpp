@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sim/simulation.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lls {
+
+/// Result of running the paper's `Reduce` (Fig. 2) on one output cone.
+struct ReduceResult {
+    /// Marked nodes and their agreement windows (functions over each node's
+    /// fanins). Sigma_1 is the conjunction of all of them.
+    std::vector<std::pair<std::uint32_t, TruthTable>> windows;
+    int old_level = 0;  ///< SOP level of the root before reduction
+    int new_level = 0;  ///< SOP level of the root after reduction
+    bool improved = false;
+};
+
+/// The paper's `Reduce(T, SPCF)` specialized to a single output cone rooted
+/// at `root`: repeatedly walks down critical fanin chains from the
+/// highest-level nodes, simplifying each node with `simplify_node`, until
+/// the root's SOP level drops below its original value or the cone is
+/// exhausted. Node functions in `net` are modified in place (the caller is
+/// expected to operate on a duplicated cone), and `sigs` is re-simulated
+/// incrementally so that cube weights always reflect the current network
+/// state, as the paper's "global Boolean functions of each node" require.
+ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature>& sigs,
+                         std::size_t num_patterns, const Signature& spcf);
+
+}  // namespace lls

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "network/network.hpp"
+#include "sim/simulation.hpp"
+#include "sop/sop.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lls {
+
+/// Weight of a cube over `node`'s fanin space against a target
+/// characteristic function (Sec. 3.1, "Using the SPCF"): the number of
+/// target patterns whose fanin values fall inside the cube. `sigs` are the
+/// network node signatures, `target` the SPCF (primary) or the complement
+/// of the window function (secondary) over the same pattern set.
+std::uint64_t cube_weight(const Network& net, std::uint32_t node, const Cube& cube,
+                          const std::vector<Signature>& sigs, const Signature& target);
+
+/// Result of simplifying one node per the paper's Fig. 1.
+struct SimplifyOutcome {
+    TruthTable new_tt;     ///< simplified node function (over the node's fanins)
+    TruthTable window_tt;  ///< agreement window: (new_tt == old_tt), same space
+    int old_level = 0;
+    int new_level = 0;
+};
+
+/// The paper's `Simplify(j)` (Fig. 1): rewrites the Boolean function of
+/// `node` to reduce its SOP-aware logic level, keeping the cubes that cover
+/// the most SPCF minterms so that the resulting agreement window retains the
+/// timing-critical input space.
+///
+/// The returned window is an *under-approximation* of the agreement set
+/// (window => new_tt == old_tt, which is all the reconstruction needs):
+/// fanins whose level reaches `window_budget` are universally quantified out
+/// so that the window logic stays shallow — the Fig. 2 requirement that "the
+/// additional logic does not cancel the reduction in logic levels". A
+/// simplification is rejected (nullopt) when no level reduction exists, when
+/// the quantified window vanishes, when its level exceeds the budget, or
+/// when it covers none of the SPCF patterns reaching this node.
+std::optional<SimplifyOutcome> simplify_node(const Network& net, std::uint32_t node,
+                                             const std::vector<int>& levels,
+                                             const std::vector<Signature>& sigs,
+                                             const Signature& spcf, int window_budget);
+
+}  // namespace lls

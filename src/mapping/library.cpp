@@ -1,0 +1,116 @@
+#include "mapping/library.hpp"
+
+#include <algorithm>
+
+namespace lls {
+
+namespace {
+
+TruthTable tt_of(int num_vars, const std::string& hex) {
+    return TruthTable::from_hex(num_vars, hex);
+}
+
+}  // namespace
+
+int CellLibrary::add_cell(Cell cell) {
+    cells_.push_back(std::move(cell));
+    return static_cast<int>(cells_.size()) - 1;
+}
+
+CellLibrary CellLibrary::generic_70nm() {
+    CellLibrary lib;
+    // Single-input cells. INV: f = !a -> truth table "1" over bit pattern 01.
+    lib.inverter_ = lib.add_cell({"INV", 1, tt_of(1, "1"), 1.0, 35.0, 0.40});
+    lib.add_cell({"BUF", 1, tt_of(1, "2"), 1.3, 60.0, 0.55});
+
+    // Two-input cells (minterm order x1 x0 = 11,10,01,00 -> hex nibble).
+    lib.add_cell({"NAND2", 2, tt_of(2, "7"), 1.3, 50.0, 0.70});
+    lib.add_cell({"NOR2", 2, tt_of(2, "1"), 1.3, 55.0, 0.80});
+    lib.add_cell({"AND2", 2, tt_of(2, "8"), 1.7, 80.0, 0.90});
+    lib.add_cell({"OR2", 2, tt_of(2, "e"), 1.7, 85.0, 1.00});
+    lib.add_cell({"XOR2", 2, tt_of(2, "6"), 3.0, 120.0, 1.80});
+    lib.add_cell({"XNOR2", 2, tt_of(2, "9"), 3.0, 120.0, 1.80});
+
+    // Three-input cells.
+    lib.add_cell({"NAND3", 3, tt_of(3, "7f"), 1.8, 70.0, 1.00});
+    lib.add_cell({"NOR3", 3, tt_of(3, "01"), 1.8, 80.0, 1.20});
+    lib.add_cell({"AND3", 3, tt_of(3, "80"), 2.2, 95.0, 1.10});
+    lib.add_cell({"OR3", 3, tt_of(3, "fe"), 2.2, 100.0, 1.30});
+    // AOI21: !(a*b + c)  (a=var0, b=var1, c=var2)
+    lib.add_cell({"AOI21", 3, tt_of(3, "07"), 2.0, 75.0, 1.00});
+    // OAI21: !((a+b) * c)
+    lib.add_cell({"OAI21", 3, tt_of(3, "1f"), 2.0, 75.0, 1.00});
+    // MUX2: s ? b : a  (a=var0, b=var1, s=var2)
+    lib.add_cell({"MUX2", 3, tt_of(3, "ca"), 3.3, 110.0, 1.60});
+
+    // Four-input cells.
+    lib.add_cell({"NAND4", 4, tt_of(4, "7fff"), 2.3, 90.0, 1.30});
+    lib.add_cell({"NOR4", 4, tt_of(4, "0001"), 2.3, 100.0, 1.50});
+    // AOI22: !(a*b + c*d)
+    lib.add_cell({"AOI22", 4, tt_of(4, "0777"), 2.7, 95.0, 1.30});
+    // OAI22: !((a+b) * (c+d))
+    lib.add_cell({"OAI22", 4, tt_of(4, "111f"), 2.7, 95.0, 1.30});
+    return lib;
+}
+
+std::optional<CellMatch> CellLibrary::match(const TruthTable& tt) const {
+    LLS_REQUIRE(tt.num_vars() <= 4);
+    const std::string key = std::to_string(tt.num_vars()) + ":" + tt.to_hex();
+    if (auto it = match_cache_.find(key); it != match_cache_.end()) return it->second;
+
+    // Exhaustive pin assignment search over same-arity cells: with at most
+    // 4 inputs this is 4! * 2^4 * 2 = 768 candidate transforms per cell.
+    // An output negation costs a real inverter downstream, so the match
+    // score charges it; input negations are usually absorbed by AIG
+    // complemented edges and stay free in the score.
+    std::optional<CellMatch> best;
+    double best_score = 0.0;
+    const int k = tt.num_vars();
+    const double inv_delay = cells_[static_cast<std::size_t>(inverter_)].delay_ps;
+    for (int ci = 0; ci < static_cast<int>(cells_.size()); ++ci) {
+        const Cell& cell = cells_[static_cast<std::size_t>(ci)];
+        if (cell.num_inputs != k) continue;
+
+        for (int oneg = 0; oneg < 2; ++oneg) {
+            for (int with_input_neg = 0; with_input_neg < 2; ++with_input_neg) {
+            const double score = cell.delay_ps + (oneg ? inv_delay : 0.0) +
+                                 (with_input_neg ? inv_delay : 0.0);
+            if (best && score >= best_score) continue;
+
+            bool found = false;
+            std::vector<int> pin_to_leaf(static_cast<std::size_t>(k));
+            for (int i = 0; i < k; ++i) pin_to_leaf[static_cast<std::size_t>(i)] = i;
+            std::sort(pin_to_leaf.begin(), pin_to_leaf.end());
+            do {
+                const unsigned neg_begin = with_input_neg ? 1 : 0;
+                const unsigned neg_end = with_input_neg ? (1u << k) : 1;
+                for (unsigned neg = neg_begin; neg < neg_end && !found; ++neg) {
+                    // Candidate: out = oneg ^ cell(pins), pin j = leaf
+                    // pin_to_leaf[j] ^ (neg >> j).
+                    bool ok = true;
+                    for (std::uint64_t m = 0; m < tt.num_minterms() && ok; ++m) {
+                        std::uint32_t cell_minterm = 0;
+                        for (int j = 0; j < k; ++j) {
+                            const bool leaf_val =
+                                (m >> pin_to_leaf[static_cast<std::size_t>(j)]) & 1;
+                            const bool pin_val = leaf_val != (((neg >> j) & 1) != 0);
+                            if (pin_val) cell_minterm |= 1u << j;
+                        }
+                        const bool out = cell.function.get_bit(cell_minterm) != (oneg != 0);
+                        if (out != tt.get_bit(m)) ok = false;
+                    }
+                    if (ok) {
+                        best = CellMatch{ci, pin_to_leaf, neg, oneg != 0};
+                        best_score = score;
+                        found = true;
+                    }
+                }
+            } while (!found && std::next_permutation(pin_to_leaf.begin(), pin_to_leaf.end()));
+            }
+        }
+    }
+    match_cache_[key] = best;
+    return best;
+}
+
+}  // namespace lls

@@ -1,0 +1,48 @@
+#include "mapping/mapper.hpp"
+
+#include <algorithm>
+
+#include "mapping/netlist.hpp"
+#include "sim/simulation.hpp"
+
+namespace lls {
+
+MappedCircuit map_circuit(const Aig& aig, const CellLibrary& library,
+                          const MapperOptions& options) {
+    const Netlist netlist = map_to_netlist(aig, library, options.cut_size, options.max_cuts);
+
+    MappedCircuit result;
+    result.num_gates = netlist.num_gates();
+    result.area = netlist.total_area();
+    result.delay_ps = netlist.critical_delay_ps();
+    for (const auto& gate : netlist.gates()) ++result.cell_histogram[library.cell(gate.cell).name];
+
+    // Switching activity by gate-level simulation of the mapped netlist.
+    Rng rng(options.seed);
+    const SimPatterns patterns =
+        aig.num_pis() <= SimPatterns::kMaxExhaustivePis
+            ? SimPatterns::exhaustive(aig.num_pis())
+            : SimPatterns::random(aig.num_pis(), options.activity_patterns, rng);
+    std::vector<std::uint64_t> ones(netlist.num_nets(), 0);
+    std::vector<bool> input_values(netlist.num_inputs());
+    for (std::size_t p = 0; p < patterns.num_patterns(); ++p) {
+        for (std::size_t i = 0; i < netlist.num_inputs(); ++i)
+            input_values[i] = patterns.pi_value(i, p);
+        const std::vector<bool> values = netlist.evaluate_nets(input_values);
+        for (std::uint32_t n = 0; n < netlist.num_nets(); ++n)
+            if (values[n]) ++ones[n];
+    }
+
+    const double freq_hz = options.clock_ghz * 1e9;
+    const double v2 = options.supply_voltage * options.supply_voltage;
+    for (const auto& gate : netlist.gates()) {
+        const double p =
+            static_cast<double>(ones[gate.output]) / static_cast<double>(patterns.num_patterns());
+        const double activity = 2.0 * p * (1.0 - p);  // transitions per cycle, random data
+        result.power_mw +=
+            activity * library.cell(gate.cell).energy_fj * 1e-15 * v2 * freq_hz * 1e3;
+    }
+    return result;
+}
+
+}  // namespace lls

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace lls::sat {
+
+/// A SAT literal: variable index with sign. Encoded as 2*var + (negated).
+struct Lit {
+    int value = -1;
+
+    Lit() = default;
+    Lit(int var, bool negated) : value(2 * var + (negated ? 1 : 0)) { LLS_DCHECK(var >= 0); }
+
+    int var() const { return value >> 1; }
+    bool negated() const { return value & 1; }
+    Lit operator!() const {
+        Lit l;
+        l.value = value ^ 1;
+        return l;
+    }
+    bool operator==(const Lit& other) const = default;
+};
+
+enum class Status { Sat, Unsat, Unknown };
+
+/// A self-contained CDCL SAT solver: two-literal watching, VSIDS branching,
+/// first-UIP clause learning, phase saving, and Luby restarts. It is the
+/// decision engine behind the combinational equivalence checks and SAT
+/// sweeping used by the synthesis flow.
+class Solver {
+public:
+    /// Creates a fresh variable and returns its index.
+    int new_var();
+
+    int num_vars() const { return static_cast<int>(assign_.size()); }
+
+    /// Adds a clause (empty clause makes the instance trivially UNSAT).
+    /// Returns false if the solver is already known to be UNSAT.
+    bool add_clause(std::vector<Lit> lits);
+
+    bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+    bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+    bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+    /// Solves under the given assumptions. `conflict_limit` < 0 means no
+    /// limit; when the limit is hit, returns Status::Unknown.
+    Status solve(const std::vector<Lit>& assumptions = {}, std::int64_t conflict_limit = -1);
+
+    /// Model value of a variable after a Sat answer.
+    bool model_value(int var) const {
+        LLS_REQUIRE(var >= 0 && var < num_vars());
+        return model_[var] == 1;
+    }
+
+    std::int64_t num_conflicts() const { return conflicts_; }
+    std::int64_t num_decisions() const { return decisions_; }
+    std::int64_t num_propagations() const { return propagations_; }
+
+private:
+    static constexpr int kUndef = -1;
+
+    struct Clause {
+        std::vector<Lit> lits;
+        bool learned = false;
+        double activity = 0.0;
+    };
+
+    struct Watcher {
+        int clause = -1;
+        Lit blocker;
+    };
+
+    // value: 0 = false, 1 = true, -1 = unassigned (per variable).
+    int lit_value(Lit l) const {
+        const int v = assign_[l.var()];
+        if (v == kUndef) return kUndef;
+        return v ^ (l.negated() ? 1 : 0);
+    }
+
+    void enqueue(Lit l, int reason);
+    int propagate();  // returns conflicting clause index or -1
+    void analyze(int confl, std::vector<Lit>* learned, int* backtrack_level);
+    void backtrack(int level);
+    Lit pick_branch();
+    void bump_var(int var);
+    void bump_clause(int ci);
+    void decay_activities();
+    void reduce_learned();
+    void attach_clause(int ci);
+    static std::int64_t luby(std::int64_t i);
+
+    std::vector<Clause> clauses_;
+    std::vector<std::vector<Watcher>> watches_;  // indexed by literal value
+    std::vector<int> assign_;                    // per var: 0/1/kUndef
+    std::vector<int> level_;                     // decision level per var
+    std::vector<int> reason_;                    // clause index or -1
+    std::vector<char> phase_;                    // saved phase per var
+    std::vector<double> activity_;
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    std::vector<char> seen_;
+    std::vector<char> model_;
+    std::size_t qhead_ = 0;
+    double var_inc_ = 1.0;
+    double clause_inc_ = 1.0;
+    bool unsat_ = false;
+
+    std::int64_t conflicts_ = 0;
+    std::int64_t decisions_ = 0;
+    std::int64_t propagations_ = 0;
+};
+
+}  // namespace lls::sat

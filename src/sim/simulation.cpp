@@ -1,0 +1,110 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+
+namespace lls {
+
+SimPatterns SimPatterns::exhaustive(std::size_t num_pis) {
+    LLS_REQUIRE(num_pis <= kMaxExhaustivePis);
+    SimPatterns p;
+    p.num_patterns_ = std::size_t{1} << num_pis;
+    p.words_ = words_for_bits(p.num_patterns_);
+    p.exhaustive_ = true;
+    p.pi_bits_.resize(num_pis);
+    for (std::size_t i = 0; i < num_pis; ++i) {
+        auto& bits = p.pi_bits_[i];
+        bits.assign(p.words_, 0);
+        for (std::size_t m = 0; m < p.num_patterns_; ++m)
+            if ((m >> i) & 1) bits[m >> 6] |= 1ULL << (m & 63);
+    }
+    return p;
+}
+
+SimPatterns SimPatterns::random(std::size_t num_pis, std::size_t num_patterns, Rng& rng) {
+    LLS_REQUIRE(num_patterns >= 64);
+    SimPatterns p;
+    p.num_patterns_ = num_patterns;
+    p.words_ = words_for_bits(num_patterns);
+    p.exhaustive_ = false;
+    p.pi_bits_.resize(num_pis);
+    const std::uint64_t tail = tail_mask(num_patterns);
+    for (std::size_t i = 0; i < num_pis; ++i) {
+        auto& bits = p.pi_bits_[i];
+        bits.resize(p.words_);
+        for (auto& w : bits) w = rng.next_u64();
+        bits.back() &= tail;
+    }
+    return p;
+}
+
+std::vector<Signature> simulate(const Aig& aig, const SimPatterns& patterns) {
+    LLS_REQUIRE(patterns.num_pis() == aig.num_pis());
+    const std::size_t words = patterns.num_words();
+    std::vector<Signature> sigs(aig.num_nodes(), Signature(words, 0));
+    for (std::size_t i = 0; i < aig.num_pis(); ++i) sigs[aig.pi(i)] = patterns.pi_bits(i);
+    const std::uint64_t tail = tail_mask(patterns.num_patterns());
+    for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+        if (!aig.is_and(id)) continue;
+        const auto& n = aig.node(id);
+        const auto& s0 = sigs[n.fanin0.node()];
+        const auto& s1 = sigs[n.fanin1.node()];
+        auto& out = sigs[id];
+        const std::uint64_t c0 = n.fanin0.complemented() ? ~0ULL : 0ULL;
+        const std::uint64_t c1 = n.fanin1.complemented() ? ~0ULL : 0ULL;
+        for (std::size_t w = 0; w < words; ++w) out[w] = (s0[w] ^ c0) & (s1[w] ^ c1);
+        out.back() &= tail;
+    }
+    return sigs;
+}
+
+Signature literal_signature(const Aig& aig, AigLit lit, const std::vector<Signature>& node_sigs,
+                            std::size_t num_patterns) {
+    (void)aig;
+    Signature s = node_sigs[lit.node()];
+    if (lit.complemented()) {
+        for (auto& w : s) w = ~w;
+        s.back() &= tail_mask(num_patterns);
+    }
+    return s;
+}
+
+TimingSimResult timing_simulate(const Aig& aig, const SimPatterns& patterns,
+                                const std::vector<Signature>& node_sigs) {
+    TimingSimResult result;
+    result.po_arrival.assign(aig.num_pos(),
+                             std::vector<std::int32_t>(patterns.num_patterns(), 0));
+    std::vector<std::int32_t> arrival(aig.num_nodes(), 0);
+
+    for (std::size_t p = 0; p < patterns.num_patterns(); ++p) {
+        const std::size_t word = p >> 6;
+        const std::uint64_t bit = 1ULL << (p & 63);
+        for (std::uint32_t id = 1; id < aig.num_nodes(); ++id) {
+            if (!aig.is_and(id)) continue;
+            const auto& n = aig.node(id);
+            const bool v0 =
+                ((node_sigs[n.fanin0.node()][word] & bit) != 0) != n.fanin0.complemented();
+            const bool v1 =
+                ((node_sigs[n.fanin1.node()][word] & bit) != 0) != n.fanin1.complemented();
+            const std::int32_t a0 = arrival[n.fanin0.node()];
+            const std::int32_t a1 = arrival[n.fanin1.node()];
+            std::int32_t a;
+            if (v0 && v1)
+                a = std::max(a0, a1);
+            else if (!v0 && !v1)
+                a = std::min(a0, a1);
+            else
+                a = v0 ? a1 : a0;  // the controlling (0-valued) fanin decides
+            arrival[id] = a + 1;
+        }
+        for (std::size_t o = 0; o < aig.num_pos(); ++o) {
+            const std::int32_t a = arrival[aig.po(o).node()];
+            result.po_arrival[o][p] = a;
+            result.max_arrival = std::max(result.max_arrival, a);
+        }
+    }
+    return result;
+}
+
+}  // namespace lls

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "common/check.hpp"
+
+namespace lls {
+
+/// A product term (cube) over up to 32 variables, stored as two bitmasks:
+/// bit v of `pos` set means literal x_v appears, bit v of `neg` means ~x_v.
+/// A variable appearing in neither mask is absent (don't-care in the cube).
+struct Cube {
+    std::uint32_t pos = 0;
+    std::uint32_t neg = 0;
+
+    static constexpr int kMaxVars = 32;
+
+    Cube() = default;
+    Cube(std::uint32_t p, std::uint32_t n) : pos(p), neg(n) { LLS_DCHECK((p & n) == 0); }
+
+    /// The full cube (tautology product, no literals).
+    static Cube tautology() { return Cube{}; }
+
+    /// Cube of the single minterm `m` over `num_vars` variables.
+    static Cube minterm(std::uint32_t m, int num_vars) {
+        const std::uint32_t mask =
+            num_vars >= 32 ? ~0u : ((1u << num_vars) - 1);
+        return Cube{m & mask, ~m & mask};
+    }
+
+    int num_literals() const { return popcount64(pos) + popcount64(neg); }
+
+    bool has_literal(int var) const { return ((pos | neg) >> var) & 1; }
+    bool literal_polarity(int var) const { return (pos >> var) & 1; }
+
+    Cube with_literal(int var, bool polarity) const {
+        Cube c = *this;
+        if (polarity)
+            c.pos |= 1u << var;
+        else
+            c.neg |= 1u << var;
+        LLS_DCHECK((c.pos & c.neg) == 0);
+        return c;
+    }
+
+    Cube without_literal(int var) const {
+        Cube c = *this;
+        c.pos &= ~(1u << var);
+        c.neg &= ~(1u << var);
+        return c;
+    }
+
+    /// True if the minterm (variable assignment) `m` lies inside this cube.
+    bool contains_minterm(std::uint32_t m) const {
+        return (m & pos) == pos && (~m & neg) == neg;
+    }
+
+    /// True if this cube contains (covers) every minterm of `other`.
+    bool contains_cube(const Cube& other) const {
+        return (pos & ~other.pos) == 0 && (neg & ~other.neg) == 0;
+    }
+
+    /// True if the two cubes share at least one minterm.
+    bool intersects(const Cube& other) const {
+        return (pos & other.neg) == 0 && (neg & other.pos) == 0;
+    }
+
+    bool operator==(const Cube& other) const = default;
+
+    /// PLA-style text: one character per variable, '1'/'0'/'-', variable 0 first.
+    std::string to_string(int num_vars) const {
+        std::string s(static_cast<std::size_t>(num_vars), '-');
+        for (int v = 0; v < num_vars; ++v) {
+            if ((pos >> v) & 1) s[static_cast<std::size_t>(v)] = '1';
+            if ((neg >> v) & 1) s[static_cast<std::size_t>(v)] = '0';
+        }
+        return s;
+    }
+};
+
+}  // namespace lls

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+
+#include "sop/sop.hpp"
+
+namespace lls {
+
+/// Exact minimum-cube SOP via prime generation + branch-and-bound unate
+/// covering (Quine–McCluskey / Petrick style):
+///   * generate all primes of [f, f|dc],
+///   * unit-propagate essential primes,
+///   * branch on the hardest uncovered minterm, bounding with the current
+///     best and an independent-set lower bound.
+///
+/// Exponential in the worst case, so the search takes a node budget and
+/// returns nullopt when exceeded (callers fall back to the heuristic
+/// `minimum_sop`). Intended for the local node functions of the synthesis
+/// flow (<= ~8 variables, dozens of primes).
+std::optional<Sop> exact_minimum_sop(const TruthTable& f, const TruthTable& dc,
+                                     std::size_t budget = 20000);
+
+inline std::optional<Sop> exact_minimum_sop(const TruthTable& f, std::size_t budget = 20000) {
+    return exact_minimum_sop(f, TruthTable::constant(f.num_vars(), false), budget);
+}
+
+}  // namespace lls

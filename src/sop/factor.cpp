@@ -1,0 +1,145 @@
+#include "sop/factor.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace lls {
+
+int FactorExpr::num_literals() const {
+    if (kind == Kind::Literal) return 1;
+    int n = 0;
+    for (const auto& c : children) n += c.num_literals();
+    return n;
+}
+
+std::string FactorExpr::to_string() const {
+    switch (kind) {
+        case Kind::Const0:
+            return "0";
+        case Kind::Const1:
+            return "1";
+        case Kind::Literal:
+            return (polarity ? "" : "!") + std::string("x") + std::to_string(var);
+        case Kind::And: {
+            std::string s;
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                if (i) s += "*";
+                const bool paren = children[i].kind == Kind::Or;
+                s += paren ? "(" + children[i].to_string() + ")" : children[i].to_string();
+            }
+            return s;
+        }
+        case Kind::Or: {
+            std::string s;
+            for (std::size_t i = 0; i < children.size(); ++i) {
+                if (i) s += " + ";
+                s += children[i].to_string();
+            }
+            return s;
+        }
+    }
+    return "?";
+}
+
+namespace {
+
+// Picks the literal occurring in the largest number of cubes (>= 2), or
+// returns false if every literal occurs at most once.
+bool best_literal(const std::vector<Cube>& cubes, int num_vars, int* var, bool* polarity) {
+    int best_count = 1;
+    for (int v = 0; v < num_vars; ++v) {
+        for (int pol = 0; pol < 2; ++pol) {
+            int count = 0;
+            for (const auto& c : cubes)
+                if (c.has_literal(v) && c.literal_polarity(v) == (pol != 0)) ++count;
+            if (count > best_count) {
+                best_count = count;
+                *var = v;
+                *polarity = pol != 0;
+            }
+        }
+    }
+    return best_count > 1;
+}
+
+FactorExpr cube_to_expr(const Cube& cube, int num_vars) {
+    std::vector<FactorExpr> lits;
+    for (int v = 0; v < num_vars; ++v)
+        if (cube.has_literal(v)) lits.push_back(FactorExpr::literal(v, cube.literal_polarity(v)));
+    if (lits.empty()) return FactorExpr::constant(true);
+    if (lits.size() == 1) return lits[0];
+    FactorExpr e;
+    e.kind = FactorExpr::Kind::And;
+    e.children = std::move(lits);
+    return e;
+}
+
+FactorExpr factor_cubes(const std::vector<Cube>& cubes, int num_vars) {
+    if (cubes.empty()) return FactorExpr::constant(false);
+    if (cubes.size() == 1) return cube_to_expr(cubes[0], num_vars);
+
+    int var = -1;
+    bool polarity = true;
+    if (!best_literal(cubes, num_vars, &var, &polarity)) {
+        FactorExpr e;
+        e.kind = FactorExpr::Kind::Or;
+        for (const auto& c : cubes) e.children.push_back(cube_to_expr(c, num_vars));
+        return e;
+    }
+
+    std::vector<Cube> quotient, remainder;
+    for (const auto& c : cubes) {
+        if (c.has_literal(var) && c.literal_polarity(var) == polarity)
+            quotient.push_back(c.without_literal(var));
+        else
+            remainder.push_back(c);
+    }
+
+    FactorExpr product;
+    product.kind = FactorExpr::Kind::And;
+    product.children.push_back(FactorExpr::literal(var, polarity));
+    FactorExpr q = factor_cubes(quotient, num_vars);
+    if (q.kind != FactorExpr::Kind::Const1) product.children.push_back(std::move(q));
+    if (product.children.size() == 1) product = std::move(product.children[0]);
+
+    if (remainder.empty()) return product;
+
+    FactorExpr sum;
+    sum.kind = FactorExpr::Kind::Or;
+    sum.children.push_back(std::move(product));
+    FactorExpr r = factor_cubes(remainder, num_vars);
+    if (r.kind == FactorExpr::Kind::Or)
+        for (auto& c : r.children) sum.children.push_back(std::move(c));
+    else
+        sum.children.push_back(std::move(r));
+    return sum;
+}
+
+}  // namespace
+
+FactorExpr factor(const Sop& sop) {
+    // A tautology cube anywhere makes the whole SOP constant 1.
+    for (const auto& c : sop.cubes())
+        if (c.num_literals() == 0) return FactorExpr::constant(true);
+    return factor_cubes(sop.cubes(), sop.num_vars());
+}
+
+bool evaluate(const FactorExpr& expr, std::uint32_t minterm) {
+    switch (expr.kind) {
+        case FactorExpr::Kind::Const0:
+            return false;
+        case FactorExpr::Kind::Const1:
+            return true;
+        case FactorExpr::Kind::Literal:
+            return (((minterm >> expr.var) & 1) != 0) == expr.polarity;
+        case FactorExpr::Kind::And:
+            return std::all_of(expr.children.begin(), expr.children.end(),
+                               [&](const FactorExpr& c) { return evaluate(c, minterm); });
+        case FactorExpr::Kind::Or:
+            return std::any_of(expr.children.begin(), expr.children.end(),
+                               [&](const FactorExpr& c) { return evaluate(c, minterm); });
+    }
+    return false;
+}
+
+}  // namespace lls

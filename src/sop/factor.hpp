@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sop/sop.hpp"
+
+namespace lls {
+
+/// Factored-form expression tree produced from an SOP by algebraic
+/// (literal-division) factoring. Used to rebuild compact AIGs from the
+/// node functions of a technology-independent network.
+struct FactorExpr {
+    enum class Kind { Const0, Const1, Literal, And, Or };
+
+    Kind kind = Kind::Const0;
+    int var = -1;          ///< for Literal
+    bool polarity = true;  ///< for Literal: true = positive literal
+    std::vector<FactorExpr> children;
+
+    static FactorExpr constant(bool value) {
+        FactorExpr e;
+        e.kind = value ? Kind::Const1 : Kind::Const0;
+        return e;
+    }
+    static FactorExpr literal(int var, bool polarity) {
+        FactorExpr e;
+        e.kind = Kind::Literal;
+        e.var = var;
+        e.polarity = polarity;
+        return e;
+    }
+
+    /// Number of literal leaves in the tree.
+    int num_literals() const;
+
+    std::string to_string() const;
+};
+
+/// Algebraic factoring of an SOP by recursive most-frequent-literal
+/// division ("quick factor"). The result is logically equivalent to the SOP.
+FactorExpr factor(const Sop& sop);
+
+/// Evaluates a factored expression on a minterm (bit v of `minterm` is the
+/// value of variable v).
+bool evaluate(const FactorExpr& expr, std::uint32_t minterm);
+
+}  // namespace lls

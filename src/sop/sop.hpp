@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sop/cube.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lls {
+
+/// Sum-of-products over `num_vars` variables: an OR of cubes.
+/// An empty cube list is the constant-0 function; a list containing the
+/// tautology cube is constant 1.
+class Sop {
+public:
+    Sop() : num_vars_(0) {}
+    explicit Sop(int num_vars) : num_vars_(num_vars) {
+        LLS_REQUIRE(num_vars >= 0 && num_vars <= Cube::kMaxVars);
+    }
+    Sop(int num_vars, std::vector<Cube> cubes) : num_vars_(num_vars), cubes_(std::move(cubes)) {}
+
+    int num_vars() const { return num_vars_; }
+    const std::vector<Cube>& cubes() const { return cubes_; }
+    std::vector<Cube>& cubes() { return cubes_; }
+    std::size_t num_cubes() const { return cubes_.size(); }
+    bool empty() const { return cubes_.empty(); }
+
+    int num_literals() const;
+
+    void add_cube(const Cube& c) { cubes_.push_back(c); }
+
+    bool evaluate(std::uint32_t minterm) const;
+
+    TruthTable to_truth_table() const;
+
+    /// Removes cubes contained in other cubes (single-cube containment).
+    void remove_contained_cubes();
+
+    std::string to_string() const;
+
+private:
+    int num_vars_;
+    std::vector<Cube> cubes_;
+};
+
+/// Irredundant SOP between bounds via the Minato-Morreale algorithm:
+/// returns an SOP g with lower <= g <= upper, irredundant w.r.t. those
+/// bounds. `lower` are the required minterms (on-set), `upper` the allowed
+/// ones (on-set plus don't-cares). Requires lower.implies(upper).
+Sop isop(const TruthTable& lower, const TruthTable& upper);
+
+/// Irredundant SOP of the exact function (no don't-cares).
+inline Sop isop(const TruthTable& f) { return isop(f, f); }
+
+/// All prime implicants of the function `f` with optional don't-care set
+/// `dc` (primes of f|dc that intersect f), by iterated consensus/merging.
+/// Exponential in general; intended for local node functions (<= ~12 vars).
+std::vector<Cube> prime_implicants(const TruthTable& f, const TruthTable& dc);
+
+inline std::vector<Cube> prime_implicants(const TruthTable& f) {
+    return prime_implicants(f, TruthTable::constant(f.num_vars(), false));
+}
+
+/// Greedy minimum-cost prime cover of `f` (unate covering heuristic over
+/// the primes): a compact stand-in for an exact minimum SOP.
+Sop minimum_sop(const TruthTable& f, const TruthTable& dc);
+
+inline Sop minimum_sop(const TruthTable& f) {
+    return minimum_sop(f, TruthTable::constant(f.num_vars(), false));
+}
+
+}  // namespace lls

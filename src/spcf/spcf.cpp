@@ -1,0 +1,32 @@
+#include "spcf/spcf.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+
+namespace lls {
+
+Spcf compute_spcf(const Aig& aig, const SimPatterns& patterns,
+                  const std::vector<Signature>& node_sigs, std::int32_t delta) {
+    const TimingSimResult timing = timing_simulate(aig, patterns, node_sigs);
+
+    Spcf spcf;
+    spcf.max_arrival = timing.max_arrival;
+    spcf.delta = delta > 0 ? delta : timing.max_arrival;
+    spcf.po_spcf.assign(aig.num_pos(), Signature(patterns.num_words(), 0));
+    spcf.po_max_arrival.assign(aig.num_pos(), 0);
+
+    for (std::size_t o = 0; o < aig.num_pos(); ++o) {
+        const auto& arrivals = timing.po_arrival[o];
+        auto& sig = spcf.po_spcf[o];
+        std::int32_t po_max = 0;
+        for (std::size_t p = 0; p < arrivals.size(); ++p) {
+            po_max = std::max(po_max, arrivals[p]);
+            if (arrivals[p] >= spcf.delta) sig[p >> 6] |= 1ULL << (p & 63);
+        }
+        spcf.po_max_arrival[o] = po_max;
+    }
+    return spcf;
+}
+
+}  // namespace lls

@@ -1,0 +1,49 @@
+#include "tt/npn.hpp"
+
+#include <algorithm>
+
+namespace lls {
+
+TruthTable npn_apply(const TruthTable& tt, const std::vector<int>& perm, unsigned input_negation,
+                     bool output_negation) {
+    TruthTable r = tt;
+    for (int v = 0; v < tt.num_vars(); ++v)
+        if ((input_negation >> v) & 1) {
+            // Complementing input v swaps its cofactors.
+            const TruthTable c0 = r.cofactor(v, false);
+            const TruthTable c1 = r.cofactor(v, true);
+            const TruthTable xv = TruthTable::variable(tt.num_vars(), v);
+            r = (xv & c0) | (~xv & c1);
+        }
+    r = r.permute(perm);
+    if (output_negation) r = ~r;
+    return r;
+}
+
+NpnResult npn_canonize(const TruthTable& tt) {
+    const int n = tt.num_vars();
+    LLS_REQUIRE(n <= 5 && "exact NPN canonization is limited to 5 variables");
+
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+
+    NpnResult best;
+    bool have_best = false;
+
+    std::vector<int> p = perm;
+    do {
+        for (unsigned neg = 0; neg < (1u << n); ++neg) {
+            for (int out_neg = 0; out_neg < 2; ++out_neg) {
+                TruthTable cand = npn_apply(tt, p, neg, out_neg != 0);
+                if (!have_best || cand.to_hex() < best.canonical.to_hex()) {
+                    best = NpnResult{std::move(cand), p, neg, out_neg != 0};
+                    have_best = true;
+                }
+            }
+        }
+    } while (std::next_permutation(p.begin(), p.end()));
+
+    return best;
+}
+
+}  // namespace lls

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace lls {
+
+/// Result of NPN canonization: `canonical` is the representative of the
+/// NPN equivalence class of the input function, and the transform fields
+/// record how to map the input onto it:
+///   canonical(x) = output_neg XOR f(y)   where  y[perm[i]] = x[i] XOR input_neg bit i.
+struct NpnResult {
+    TruthTable canonical;
+    std::vector<int> perm;      ///< canonical var i reads input var perm[i]
+    unsigned input_negation;    ///< bit i set: input var i is complemented
+    bool output_negation;
+};
+
+/// Exact NPN canonization by exhaustive enumeration. Practical for up to
+/// 5 variables (5! * 2^5 * 2 = 7680 transforms); the technology mapper only
+/// matches cuts of up to 4 inputs.
+NpnResult npn_canonize(const TruthTable& tt);
+
+/// Applies an NPN transform (permutation + input/output negation) to a
+/// truth table; used to instantiate a library cell match from its canonical
+/// form.
+TruthTable npn_apply(const TruthTable& tt, const std::vector<int>& perm, unsigned input_negation,
+                     bool output_negation);
+
+}  // namespace lls

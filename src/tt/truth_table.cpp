@@ -1,0 +1,216 @@
+#include "tt/truth_table.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+
+namespace lls {
+
+namespace {
+
+// Masks for sub-word variable manipulation: kVarMask[v] has bit b set iff
+// bit v of b is 1, i.e. the truth table of variable v within one word.
+constexpr std::uint64_t kVarMask[6] = {
+    0xaaaaaaaaaaaaaaaaULL, 0xccccccccccccccccULL, 0xf0f0f0f0f0f0f0f0ULL,
+    0xff00ff00ff00ff00ULL, 0xffff0000ffff0000ULL, 0xffffffff00000000ULL,
+};
+
+int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    LLS_REQUIRE(false && "invalid hex digit");
+    return 0;
+}
+
+}  // namespace
+
+TruthTable TruthTable::from_hex(int num_vars, const std::string& hex) {
+    TruthTable tt(num_vars);
+    const std::size_t digits =
+        std::max<std::size_t>(1, (std::size_t{1} << num_vars) / 4);
+    LLS_REQUIRE(hex.size() == digits);
+    // hex[0] is the most significant nibble.
+    for (std::size_t i = 0; i < digits; ++i) {
+        const std::uint64_t nibble = static_cast<std::uint64_t>(hex_digit(hex[digits - 1 - i]));
+        tt.words_[i / 16] |= nibble << (4 * (i % 16));
+    }
+    tt.mask_tail();
+    return tt;
+}
+
+bool TruthTable::is_const0() const {
+    return std::all_of(words_.begin(), words_.end(), [](std::uint64_t w) { return w == 0; });
+}
+
+bool TruthTable::is_const1() const { return *this == constant(num_vars_, true); }
+
+std::uint64_t TruthTable::count_ones() const {
+    std::uint64_t n = 0;
+    for (auto w : words_) n += static_cast<std::uint64_t>(popcount64(w));
+    return n;
+}
+
+bool TruthTable::has_var(int var) const {
+    LLS_REQUIRE(var >= 0 && var < std::max(num_vars_, 1));
+    if (var >= num_vars_) return false;
+    if (var < 6) {
+        const int shift = 1 << var;
+        for (auto w : words_)
+            if (((w >> shift) ^ w) & ~kVarMask[var]) return true;
+        return false;
+    }
+    const std::size_t stride = std::size_t{1} << (var - 6);
+    for (std::size_t base = 0; base < words_.size(); base += 2 * stride)
+        for (std::size_t i = 0; i < stride; ++i)
+            if (words_[base + i] != words_[base + stride + i]) return true;
+    return false;
+}
+
+TruthTable TruthTable::operator~() const {
+    TruthTable r(*this);
+    for (auto& w : r.words_) w = ~w;
+    r.mask_tail();
+    return r;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& other) const {
+    check_compatible(other);
+    TruthTable r(*this);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] &= other.words_[i];
+    return r;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& other) const {
+    check_compatible(other);
+    TruthTable r(*this);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] |= other.words_[i];
+    return r;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& other) const {
+    check_compatible(other);
+    TruthTable r(*this);
+    for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] ^= other.words_[i];
+    return r;
+}
+
+bool TruthTable::implies(const TruthTable& other) const {
+    check_compatible(other);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & ~other.words_[i]) return false;
+    return true;
+}
+
+TruthTable TruthTable::cofactor(int var, bool polarity) const {
+    LLS_REQUIRE(var >= 0 && var < num_vars_);
+    TruthTable r(*this);
+    if (var < 6) {
+        const int shift = 1 << var;
+        for (auto& w : r.words_) {
+            if (polarity) {
+                const std::uint64_t hi = w & kVarMask[var];
+                w = hi | (hi >> shift);
+            } else {
+                const std::uint64_t lo = w & ~kVarMask[var];
+                w = lo | (lo << shift);
+            }
+        }
+    } else {
+        const std::size_t stride = std::size_t{1} << (var - 6);
+        for (std::size_t base = 0; base < words_.size(); base += 2 * stride)
+            for (std::size_t i = 0; i < stride; ++i) {
+                const std::uint64_t v =
+                    polarity ? r.words_[base + stride + i] : r.words_[base + i];
+                r.words_[base + i] = v;
+                r.words_[base + stride + i] = v;
+            }
+    }
+    return r;
+}
+
+TruthTable TruthTable::swap_vars(int a, int b) const {
+    LLS_REQUIRE(a >= 0 && a < num_vars_ && b >= 0 && b < num_vars_);
+    if (a == b) return *this;
+    std::vector<int> perm(num_vars_);
+    for (int i = 0; i < num_vars_; ++i) perm[i] = i;
+    std::swap(perm[a], perm[b]);
+    return permute(perm);
+}
+
+TruthTable TruthTable::permute(const std::vector<int>& perm) const {
+    LLS_REQUIRE(static_cast<int>(perm.size()) == num_vars_);
+    TruthTable r(num_vars_);
+    // General (slow-path) permutation by minterm remapping; local functions
+    // are small so this is never a bottleneck.
+    const std::uint64_t n = num_minterms();
+    for (std::uint64_t m = 0; m < n; ++m) {
+        if (!get_bit(m)) continue;
+        // Minterm m assigns old variable perm[i] the bit that the new table
+        // reads as variable i; build the new index from the old assignment.
+        std::uint64_t nm = 0;
+        for (int i = 0; i < num_vars_; ++i)
+            if ((m >> perm[i]) & 1) nm |= std::uint64_t{1} << i;
+        r.set_bit(nm, true);
+    }
+    return r;
+}
+
+TruthTable TruthTable::extend(int new_num_vars) const {
+    LLS_REQUIRE(new_num_vars >= num_vars_ && new_num_vars <= kMaxVars);
+    if (new_num_vars == num_vars_) return *this;
+    TruthTable r(new_num_vars);
+    if (num_vars_ < 6) {
+        // Replicate the low 2^num_vars_ bits across the first word, then all
+        // words.
+        std::uint64_t w = words_[0];
+        for (int width = 1 << num_vars_; width < 64; width *= 2) w |= w << width;
+        for (auto& rw : r.words_) rw = w;
+    } else {
+        for (std::size_t i = 0; i < r.words_.size(); ++i) r.words_[i] = words_[i % words_.size()];
+    }
+    r.mask_tail();
+    return r;
+}
+
+TruthTable TruthTable::shrink(int new_num_vars) const {
+    LLS_REQUIRE(new_num_vars >= 0 && new_num_vars <= num_vars_);
+    for (int v = new_num_vars; v < num_vars_; ++v)
+        LLS_REQUIRE(!has_var(v) && "cannot shrink away a support variable");
+    TruthTable r(new_num_vars);
+    for (std::size_t i = 0; i < r.words_.size(); ++i) r.words_[i] = words_[i];
+    r.mask_tail();
+    return r;
+}
+
+std::string TruthTable::to_hex() const {
+    const std::size_t digits =
+        std::max<std::size_t>(1, (std::size_t{1} << num_vars_) / 4);
+    std::string s(digits, '0');
+    static const char* kHex = "0123456789abcdef";
+    for (std::size_t i = 0; i < digits; ++i) {
+        const int nibble = static_cast<int>((words_[i / 16] >> (4 * (i % 16))) & 0xf);
+        s[digits - 1 - i] = kHex[nibble];
+    }
+    return s;
+}
+
+std::string TruthTable::to_binary() const {
+    const std::uint64_t n = num_minterms();
+    std::string s(n, '0');
+    for (std::uint64_t m = 0; m < n; ++m)
+        if (get_bit(m)) s[n - 1 - m] = '1';
+    return s;
+}
+
+std::uint64_t TruthTable::hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<std::uint64_t>(num_vars_);
+    for (auto w : words_) {
+        h ^= w;
+        h *= 0x100000001b3ULL;
+        h ^= h >> 29;
+    }
+    return h;
+}
+
+}  // namespace lls

@@ -1,0 +1,121 @@
+#include "sop/exact_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace lls {
+namespace {
+
+TruthTable random_tt(int num_vars, Rng& rng) {
+    TruthTable tt(num_vars);
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) tt.set_bit(m, rng.next_bool());
+    return tt;
+}
+
+/// Brute-force check that no cover of the same prime set with fewer cubes
+/// exists (subset enumeration; only usable for small prime counts).
+bool is_minimum_cover(const TruthTable& f, const TruthTable& dc, std::size_t cubes) {
+    if (cubes == 0) return true;
+    const auto primes = prime_implicants(f & ~dc, dc);
+    if (primes.size() > 18) return true;  // enumeration too big; trust B&B
+    const TruthTable on = f & ~dc;
+    for (std::uint32_t subset = 0; subset < (1u << primes.size()); ++subset) {
+        if (static_cast<std::size_t>(__builtin_popcount(subset)) >= cubes) continue;
+        Sop s(f.num_vars());
+        for (std::size_t p = 0; p < primes.size(); ++p)
+            if ((subset >> p) & 1) s.add_cube(primes[p]);
+        if (on.implies(s.to_truth_table())) return false;  // smaller cover exists
+    }
+    return true;
+}
+
+TEST(ExactCover, Constants) {
+    const auto zero = exact_minimum_sop(TruthTable::constant(4, false));
+    ASSERT_TRUE(zero.has_value());
+    EXPECT_TRUE(zero->empty());
+    const auto one = exact_minimum_sop(TruthTable::constant(4, true));
+    ASSERT_TRUE(one.has_value());
+    EXPECT_EQ(one->num_cubes(), 1u);
+}
+
+TEST(ExactCover, KnownMinima) {
+    // xor2 needs exactly 2 cubes; majority-of-3 needs exactly 3.
+    TruthTable x(2);
+    x.set_bit(1, true);
+    x.set_bit(2, true);
+    ASSERT_TRUE(exact_minimum_sop(x).has_value());
+    EXPECT_EQ(exact_minimum_sop(x)->num_cubes(), 2u);
+
+    TruthTable maj(3);
+    for (std::uint64_t m = 0; m < 8; ++m)
+        maj.set_bit(m, __builtin_popcountll(m) >= 2);
+    ASSERT_TRUE(exact_minimum_sop(maj).has_value());
+    EXPECT_EQ(exact_minimum_sop(maj)->num_cubes(), 3u);
+}
+
+TEST(ExactCover, CoverIsExactAndMinimal) {
+    Rng rng(61);
+    for (int n = 2; n <= 5; ++n) {
+        for (int trial = 0; trial < 12; ++trial) {
+            const TruthTable f = random_tt(n, rng);
+            const auto cover = exact_minimum_sop(f);
+            ASSERT_TRUE(cover.has_value()) << "n=" << n;
+            EXPECT_EQ(cover->to_truth_table(), f);
+            EXPECT_TRUE(is_minimum_cover(f, TruthTable::constant(n, false), cover->num_cubes()))
+                << "n=" << n << " cover " << cover->to_string();
+        }
+    }
+}
+
+TEST(ExactCover, UsesDontCares) {
+    Rng rng(62);
+    for (int trial = 0; trial < 12; ++trial) {
+        const TruthTable f = random_tt(4, rng);
+        const TruthTable dc = random_tt(4, rng) & ~f;
+        const auto cover = exact_minimum_sop(f, dc);
+        ASSERT_TRUE(cover.has_value());
+        const TruthTable tt = cover->to_truth_table();
+        EXPECT_TRUE(f.implies(tt));
+        EXPECT_TRUE(tt.implies(f | dc));
+        // Never worse than the exact cover without don't-cares.
+        const auto strict = exact_minimum_sop(f);
+        ASSERT_TRUE(strict.has_value());
+        EXPECT_LE(cover->num_cubes(), strict->num_cubes());
+    }
+}
+
+TEST(ExactCover, NeverBeatenByHeuristic) {
+    Rng rng(63);
+    for (int n = 2; n <= 6; ++n) {
+        for (int trial = 0; trial < 8; ++trial) {
+            const TruthTable f = random_tt(n, rng);
+            const auto exact = exact_minimum_sop(f);
+            ASSERT_TRUE(exact.has_value());
+            // minimum_sop now routes through the exact cover for n <= 6.
+            EXPECT_EQ(minimum_sop(f).num_cubes(), exact->num_cubes());
+        }
+    }
+}
+
+TEST(ExactCover, HandlesCyclicCore) {
+    // The classic cyclic covering core: f = sum m(0,1,2,5,6,7) has six
+    // primes, no essentials, and a minimum cover of exactly 3 cubes.
+    TruthTable f(3);
+    for (const std::uint64_t m : {1, 2, 3, 4, 5, 6}) f.set_bit(m, true);
+    const auto cover = exact_minimum_sop(f);
+    ASSERT_TRUE(cover.has_value());
+    EXPECT_EQ(cover->num_cubes(), 3u);
+    EXPECT_EQ(cover->to_truth_table(), f);
+}
+
+TEST(ExactCover, DeclinesOnTinyBudget) {
+    // With no essential primes and a zero search budget the branch-and-bound
+    // cannot even certify a first solution.
+    TruthTable f(3);
+    for (const std::uint64_t m : {1, 2, 3, 4, 5, 6}) f.set_bit(m, true);
+    EXPECT_FALSE(exact_minimum_sop(f, TruthTable::constant(3, false), /*budget=*/1).has_value());
+}
+
+}  // namespace
+}  // namespace lls

@@ -1,0 +1,258 @@
+#include "lookahead/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_build.hpp"
+#include "cec/cec.hpp"
+#include "io/generators.hpp"
+#include "lookahead/decompose.hpp"
+#include "lookahead/reduce.hpp"
+#include "lookahead/simplify.hpp"
+#include "network/network.hpp"
+#include "spcf/spcf.hpp"
+
+namespace lls {
+namespace {
+
+TruthTable and2() {
+    TruthTable tt(2);
+    tt.set_bit(3, true);
+    return tt;
+}
+
+/// Verifies the central window invariant: wherever the agreement window is
+/// 1, the simplified function equals the original.
+void expect_window_invariant(const TruthTable& original, const SimplifyOutcome& outcome) {
+    EXPECT_EQ(outcome.window_tt, ~(outcome.new_tt ^ original));
+    EXPECT_TRUE((outcome.window_tt & (outcome.new_tt ^ original)).is_const0());
+}
+
+TEST(Simplify, CubeWeightCountsMatchingPatterns) {
+    Network net;
+    const auto a = net.add_pi();
+    const auto b = net.add_pi();
+    const auto n = net.add_node({a, b}, and2());
+    net.add_po(n, false, "y");
+    const SimPatterns patterns = SimPatterns::exhaustive(2);
+    const auto sigs = net.simulate(patterns);
+
+    Signature all(patterns.num_words(), 0xfULL);  // all 4 patterns critical
+    const Cube c = Cube{}.with_literal(0, true).with_literal(1, true);  // x0 x1
+    EXPECT_EQ(cube_weight(net, n, c, sigs, all), 1u);  // only minterm 11
+    const Cube just_a = Cube{}.with_literal(0, true);
+    EXPECT_EQ(cube_weight(net, n, just_a, sigs, all), 2u);  // minterms 01, 11
+    Signature none(patterns.num_words(), 0);
+    EXPECT_EQ(cube_weight(net, n, c, sigs, none), 0u);
+}
+
+TEST(Simplify, ReducesDeepNodeAndKeepsWindowInvariant) {
+    // Node: f = x0*x1*x2*x3 + parity-ish clutter, with skewed fanin levels
+    // so that the node's level can be reduced by dropping low-weight cubes.
+    Network net;
+    const auto a = net.add_pi();
+    const auto b = net.add_pi();
+    const auto c = net.add_pi();
+    const auto d = net.add_pi();
+    // A deep helper node to skew levels.
+    const auto deep = net.add_node({a, b}, and2());
+    // Target node over (deep, c, d): f = deep*c + c*d + !deep*!c*!d.
+    TruthTable f(3);
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        const bool vdeep = m & 1, vc = (m >> 1) & 1, vd = (m >> 2) & 1;
+        f.set_bit(m, (vdeep && vc) || (vc && vd) || (!vdeep && !vc && !vd));
+    }
+    const auto n = net.add_node({deep, c, d}, f);
+    net.add_po(n, false, "y");
+
+    const SimPatterns patterns = SimPatterns::exhaustive(4);
+    const auto sigs = net.simulate(patterns);
+    const auto levels = net.compute_sop_levels();
+
+    // All patterns critical: Simplify must still find a level reduction.
+    Signature spcf(patterns.num_words(), 0xffffULL);
+    const auto outcome = simplify_node(net, n, levels, sigs, spcf, 10);
+    if (outcome) {
+        EXPECT_LT(outcome->new_level, outcome->old_level);
+        expect_window_invariant(f, *outcome);
+    }
+    // With a *selective* SPCF (only patterns where deep*c holds), the kept
+    // cubes must cover that region, i.e. the window contains it.
+    Signature selective(patterns.num_words(), 0);
+    for (std::size_t p = 0; p < 16; ++p) {
+        const bool va = patterns.pi_value(0, p), vb = patterns.pi_value(1, p),
+                   vc2 = patterns.pi_value(2, p);
+        if (va && vb && vc2) selective[0] |= 1ULL << p;
+    }
+    const auto sel = simplify_node(net, n, levels, sigs, selective, 10);
+    ASSERT_TRUE(sel.has_value());
+    EXPECT_LT(sel->new_level, sel->old_level);
+    expect_window_invariant(f, *sel);
+    // Every critical pattern must fall into the agreement window.
+    for (std::size_t p = 0; p < 16; ++p) {
+        if (!((selective[0] >> p) & 1)) continue;
+        std::uint32_t minterm = 0;
+        const auto& fan = net.fanins(n);
+        for (std::size_t i = 0; i < fan.size(); ++i)
+            if ((sigs[fan[i]][0] >> p) & 1) minterm |= 1u << i;
+        EXPECT_TRUE(sel->window_tt.get_bit(minterm)) << "pattern " << p;
+    }
+}
+
+TEST(Simplify, RefusesLevelZeroNodes) {
+    Network net;
+    const auto a = net.add_pi();
+    const auto b = net.add_pi();
+    // Single-literal node: level 0, nothing to simplify.
+    const auto n = net.add_node({a, b}, TruthTable::variable(2, 0));
+    net.add_po(n, false, "y");
+    const SimPatterns patterns = SimPatterns::exhaustive(2);
+    const auto sigs = net.simulate(patterns);
+    const auto levels = net.compute_sop_levels();
+    Signature spcf(patterns.num_words(), 0xf);
+    EXPECT_FALSE(simplify_node(net, n, levels, sigs, spcf, 10).has_value());
+}
+
+TEST(Reduce, WindowsImplyAgreementAtRoot) {
+    // The inductive correctness property behind the whole construction:
+    // whenever every window holds, the reduced root equals the original.
+    const Aig cone = extract_cone(ripple_carry_adder(3), 3);  // cout of 3-bit adder
+    Network net = Network::from_aig(cone, 4, 6);
+    const SimPatterns patterns = SimPatterns::exhaustive(cone.num_pis());
+    auto sigs = net.simulate(patterns);
+    const auto aig_sigs = simulate(cone, patterns);
+    const Spcf spcf = compute_spcf(cone, patterns, aig_sigs);
+
+    const std::uint32_t y = net.po(0).node;
+    std::vector<std::uint32_t> mapping;
+    const std::uint32_t y0 = net.duplicate_cone(y, &mapping);
+    sigs.resize(net.num_nodes());
+    for (std::uint32_t old_id = 0; old_id < mapping.size(); ++old_id)
+        if (mapping[old_id] != old_id) sigs[mapping[old_id]] = sigs[old_id];
+
+    const ReduceResult rr = reduce_cone(net, y0, sigs, patterns.num_patterns(), spcf.po_spcf[0]);
+    if (rr.windows.empty()) GTEST_SKIP() << "no simplification found";
+    EXPECT_LE(rr.new_level, rr.old_level);
+
+    // Evaluate: window_j over fanins of marked node j (signatures are kept
+    // up to date by reduce_cone). Where all windows hold, y0 == y.
+    const auto final_sigs = net.simulate(patterns);
+    Signature sigma(patterns.num_words(), ~0ULL);
+    for (const auto& [node, wtt] : rr.windows) {
+        for (std::size_t p = 0; p < patterns.num_patterns(); ++p) {
+            std::uint32_t minterm = 0;
+            const auto& fan = net.fanins(node);
+            for (std::size_t i = 0; i < fan.size(); ++i)
+                if ((final_sigs[fan[i]][p >> 6] >> (p & 63)) & 1) minterm |= 1u << i;
+            if (!wtt.get_bit(minterm)) sigma[p >> 6] &= ~(1ULL << (p & 63));
+        }
+    }
+    for (std::size_t p = 0; p < patterns.num_patterns(); ++p) {
+        const bool in_window = (sigma[p >> 6] >> (p & 63)) & 1;
+        if (!in_window) continue;
+        const bool v_orig = (final_sigs[y][p >> 6] >> (p & 63)) & 1;
+        const bool v_reduced = (final_sigs[y0][p >> 6] >> (p & 63)) & 1;
+        EXPECT_EQ(v_orig, v_reduced) << "window invariant violated at pattern " << p;
+    }
+}
+
+TEST(Decompose, CoutConeOfAdderImproves) {
+    const Aig rca = ripple_carry_adder(4);
+    const Aig cone = extract_cone(rca, rca.num_pos() - 1);  // cout
+    LookaheadParams params;
+    Rng rng(1);
+    const auto outcome = decompose_output(cone, params, rng);
+    ASSERT_TRUE(outcome.has_value());
+    EXPECT_LT(outcome->new_depth, outcome->old_depth);
+    EXPECT_GE(outcome->num_windows, 1);
+    EXPECT_TRUE(check_equivalence(outcome->aig, cone).equivalent);
+}
+
+TEST(Decompose, RejectsShallowCones) {
+    Aig aig;
+    const AigLit a = aig.add_pi();
+    const AigLit b = aig.add_pi();
+    aig.add_po(aig.land(a, b), "y");
+    LookaheadParams params;
+    Rng rng(2);
+    EXPECT_FALSE(decompose_output(aig, params, rng).has_value());
+}
+
+TEST(Optimize, RippleCarryAdderDepthDrops) {
+    const Aig rca = ripple_carry_adder(8);
+    LookaheadParams params;
+    OptimizeStats stats;
+    const Aig optimized = optimize_timing(rca, params, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_LT(stats.final_depth, stats.initial_depth);
+    EXPECT_TRUE(check_equivalence(rca, optimized).equivalent);
+}
+
+TEST(Optimize, PreservesInterface) {
+    const Aig rca = ripple_carry_adder(4);
+    const Aig optimized = optimize_timing(rca);
+    EXPECT_EQ(optimized.num_pis(), rca.num_pis());
+    EXPECT_EQ(optimized.num_pos(), rca.num_pos());
+    for (std::size_t i = 0; i < rca.num_pis(); ++i)
+        EXPECT_EQ(optimized.pi_name(i), rca.pi_name(i));
+    for (std::size_t o = 0; o < rca.num_pos(); ++o)
+        EXPECT_EQ(optimized.po_name(o), rca.po_name(o));
+}
+
+TEST(Optimize, IdempotentOnOptimalCircuits) {
+    // A two-input AND cannot get shallower; the flow must terminate cleanly.
+    Aig aig;
+    const AigLit a = aig.add_pi();
+    const AigLit b = aig.add_pi();
+    aig.add_po(aig.land(a, b), "y");
+    OptimizeStats stats;
+    const Aig out = optimize_timing(aig, {}, &stats);
+    EXPECT_EQ(stats.final_depth, 1);
+    EXPECT_EQ(stats.iterations, 0);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+}
+
+TEST(Optimize, WideAdderUsesSampledSpcfAndStaysCorrect) {
+    // 16-bit adder: 33 PIs forces sampled SPCF + SAT-verified secondary
+    // simplification; the result must still verify by CEC.
+    const Aig rca = ripple_carry_adder(16);
+    LookaheadParams params;
+    params.max_iterations = 4;
+    OptimizeStats stats;
+    const Aig optimized = optimize_timing(rca, params, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_LT(optimized.depth(), rca.depth());
+    EXPECT_TRUE(check_equivalence(rca, optimized, 2000000).equivalent);
+}
+
+// Ablation-style parameterized run: the flow must stay correct with each
+// feature toggled off.
+struct AblationParam {
+    bool implication_rules;
+    bool secondary;
+    bool area_recovery;
+};
+
+class OptimizeAblation : public ::testing::TestWithParam<AblationParam> {};
+
+TEST_P(OptimizeAblation, CorrectUnderFeatureToggles) {
+    const auto p = GetParam();
+    LookaheadParams params;
+    params.use_implication_rules = p.implication_rules;
+    params.secondary_simplification = p.secondary;
+    params.area_recovery = p.area_recovery;
+    params.max_iterations = 3;
+    const Aig rca = ripple_carry_adder(6);
+    OptimizeStats stats;
+    const Aig out = optimize_timing(rca, params, &stats);
+    EXPECT_TRUE(check_equivalence(rca, out).equivalent);
+    EXPECT_LE(out.depth(), rca.depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Toggles, OptimizeAblation,
+                         ::testing::Values(AblationParam{false, true, true},
+                                           AblationParam{true, false, true},
+                                           AblationParam{true, true, false},
+                                           AblationParam{false, false, false}));
+
+}  // namespace
+}  // namespace lls

@@ -1,0 +1,205 @@
+// Cross-module randomized property tests: every transformation in the
+// library must preserve functional equivalence on arbitrary circuits, and
+// the structural metrics must behave monotonically. Each property is swept
+// over many seeds via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_build.hpp"
+#include "baseline/flows.hpp"
+#include "baseline/permissible.hpp"
+#include "baseline/restructure.hpp"
+#include "baseline/select_transform.hpp"
+#include "cec/cec.hpp"
+#include "exact/rewrite.hpp"
+#include "io/blif.hpp"
+#include "io/generators.hpp"
+#include "lookahead/optimize.hpp"
+#include "network/network.hpp"
+
+namespace lls {
+namespace {
+
+/// Random multi-output AIG with mixed AND/OR/XOR/MUX structure.
+Aig random_circuit(std::uint64_t seed, std::size_t num_pis = 8, std::size_t num_nodes = 40,
+                   std::size_t num_pos = 4) {
+    Rng rng(seed);
+    Aig aig;
+    std::vector<AigLit> pool;
+    for (std::size_t i = 0; i < num_pis; ++i) pool.push_back(aig.add_pi());
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+        auto pick = [&]() {
+            AigLit l = pool[rng.next_below(pool.size())];
+            return rng.next_bool() ? !l : l;
+        };
+        const AigLit x = pick(), y = pick(), z = pick();
+        switch (rng.next_below(4)) {
+            case 0: pool.push_back(aig.land(x, y)); break;
+            case 1: pool.push_back(aig.lor(x, y)); break;
+            case 2: pool.push_back(aig.lxor(x, y)); break;
+            default: pool.push_back(aig.lmux(x, y, z)); break;
+        }
+    }
+    for (std::size_t o = 0; o < num_pos; ++o)
+        aig.add_po(pool[pool.size() - 1 - o]);
+    return aig.cleanup();
+}
+
+class SeedSweep : public ::testing::TestWithParam<int> {
+protected:
+    std::uint64_t seed() const { return static_cast<std::uint64_t>(GetParam()); }
+};
+
+TEST_P(SeedSweep, CleanupPreservesFunction) {
+    const Aig aig = random_circuit(seed());
+    EXPECT_TRUE(check_equivalence(aig, aig.cleanup()).equivalent);
+}
+
+TEST_P(SeedSweep, NetworkRoundTripPreservesFunction) {
+    const Aig aig = random_circuit(seed());
+    for (const int k : {3, 4, 6}) {
+        const Network net = Network::from_aig(aig, k, 6);
+        EXPECT_TRUE(check_equivalence(aig, net.to_aig()).equivalent) << "cut size " << k;
+    }
+}
+
+TEST_P(SeedSweep, NetworkSopDepthBoundsNothingBelowZero) {
+    const Aig aig = random_circuit(seed());
+    const Network net = Network::from_aig(aig, 5, 8);
+    const auto levels = net.compute_sop_levels();
+    for (std::uint32_t id = 0; id < net.num_nodes(); ++id) {
+        EXPECT_GE(levels[id], 0);
+        if (!net.is_internal(id)) {
+            EXPECT_EQ(levels[id], 0);
+        }
+    }
+}
+
+TEST_P(SeedSweep, BalancePreservesFunctionAndNeverDeepens) {
+    const Aig aig = random_circuit(seed());
+    const Aig balanced = balance(aig);
+    EXPECT_TRUE(check_equivalence(aig, balanced).equivalent);
+    EXPECT_LE(balanced.depth(), aig.depth());
+}
+
+TEST_P(SeedSweep, RestructurePreservesFunction) {
+    const Aig aig = random_circuit(seed());
+    RestructureOptions delay;
+    delay.delay_oriented = true;
+    RestructureOptions area;
+    area.delay_oriented = false;
+    EXPECT_TRUE(check_equivalence(aig, restructure(aig, delay)).equivalent);
+    EXPECT_TRUE(check_equivalence(aig, restructure(aig, area)).equivalent);
+}
+
+TEST_P(SeedSweep, SatSweepPreservesFunctionAndNeverGrows) {
+    const Aig aig = random_circuit(seed());
+    Rng rng(seed() ^ 0xabcdef);
+    const Aig swept = sat_sweep(aig, rng);
+    EXPECT_TRUE(check_equivalence(aig, swept).equivalent);
+    EXPECT_LE(swept.count_reachable_ands(), aig.count_reachable_ands());
+}
+
+TEST_P(SeedSweep, BlifRoundTripPreservesFunction) {
+    const Aig aig = random_circuit(seed());
+    std::stringstream ss;
+    write_blif(ss, aig, "prop");
+    EXPECT_TRUE(check_equivalence(aig, read_blif(ss)).equivalent);
+}
+
+TEST_P(SeedSweep, OptimizeTimingIsSoundAndNeverDeepens) {
+    const Aig aig = random_circuit(seed());
+    LookaheadParams params;
+    params.max_iterations = 3;
+    OptimizeStats stats;
+    const Aig out = optimize_timing(aig, params, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_LE(out.depth(), aig.depth());
+}
+
+TEST_P(SeedSweep, TimedTruthTableBuilderIsExact) {
+    Rng rng(seed());
+    const int n = 2 + static_cast<int>(rng.next_below(4));
+    TruthTable tt(n);
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) tt.set_bit(m, rng.next_bool());
+
+    Aig aig;
+    AigLevelTracker levels(aig);
+    std::vector<AigLit> pis;
+    for (int i = 0; i < n; ++i) pis.push_back(aig.add_pi());
+    // Give the builder skewed arrivals by wrapping some PIs in chains.
+    for (auto& pi : pis)
+        if (rng.next_bool()) pi = aig.land(pi, aig.land(pi, pis[0]));
+    const AigLit out = build_truth_table_timed(aig, tt, pis, levels);
+    aig.add_po(out, "y");
+
+    const SimPatterns patterns = SimPatterns::exhaustive(static_cast<std::size_t>(n));
+    const auto sigs = simulate(aig, patterns);
+    const Signature got = literal_signature(aig, aig.po(0), sigs, patterns.num_patterns());
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) {
+        // Re-evaluate through the possibly-wrapped PI literals: wrapping
+        // with land(pi, land(pi, pis0)) = pi & pis0, so recompute expected
+        // from actual PI signatures instead.
+        std::uint32_t minterm = 0;
+        for (int i = 0; i < n; ++i)
+            if ((sigs[pis[static_cast<std::size_t>(i)].node()][m >> 6] >> (m & 63)) & 1)
+                minterm |= 1u << i;
+        EXPECT_EQ(((got[m >> 6] >> (m & 63)) & 1) != 0, tt.get_bit(minterm));
+    }
+}
+
+TEST_P(SeedSweep, FlowsAgreeOnFunction) {
+    const Aig aig = random_circuit(seed(), 10, 60, 5);
+    Rng rng(seed() + 17);
+    EXPECT_TRUE(check_equivalence(aig, flow_sis(aig, rng)).equivalent);
+    EXPECT_TRUE(check_equivalence(aig, flow_abc(aig, rng)).equivalent);
+    EXPECT_TRUE(check_equivalence(aig, flow_dc(aig, rng)).equivalent);
+}
+
+TEST_P(SeedSweep, ExactRewritePreservesFunction) {
+    const Aig aig = random_circuit(seed(), 8, 50, 4);
+    RewriteOptions area, delay;
+    delay.delay_oriented = true;
+    EXPECT_TRUE(check_equivalence(aig, rewrite(aig, area)).equivalent);
+    const Aig fast = rewrite(aig, delay);
+    EXPECT_TRUE(check_equivalence(aig, fast).equivalent);
+    EXPECT_LE(fast.depth(), aig.depth());
+}
+
+TEST_P(SeedSweep, SelectTransformPreservesFunction) {
+    const Aig aig = random_circuit(seed(), 9, 55, 3);
+    const Aig out = generalized_select_transform(aig);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_LE(out.depth(), aig.depth());
+}
+
+TEST_P(SeedSweep, PermissibleSimplifyPreservesFunction) {
+    const Aig aig = random_circuit(seed(), 8, 45, 4);
+    const Aig out = permissible_function_simplify(aig);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_LE(out.count_reachable_ands(), aig.count_reachable_ands());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(1, 13));
+
+// Wider circuits exercise the sampled-signature paths (> 14 PIs).
+class WideSeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WideSeedSweep, SampledPathsStaySound) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+    const Aig aig = random_circuit(seed, 20, 80, 6);
+    ASSERT_GT(aig.num_pis(), static_cast<std::size_t>(SimPatterns::kMaxExhaustivePis));
+    LookaheadParams params;
+    params.max_iterations = 2;
+    const Aig out = optimize_timing(aig, params);
+    EXPECT_TRUE(check_equivalence(aig, out, 2000000).equivalent);
+    EXPECT_LE(out.depth(), aig.depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideSeedSweep, ::testing::Range(100, 106));
+
+}  // namespace
+}  // namespace lls

@@ -1,0 +1,84 @@
+#include "cec/redundancy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cec/cec.hpp"
+#include "io/generators.hpp"
+
+namespace lls {
+namespace {
+
+TEST(Redundancy, RemovesAbsorbedTerm) {
+    // y = (a&b) | (a&b&c): the second product is absorbed; the redundant
+    // logic must disappear entirely.
+    Aig aig;
+    const AigLit a = aig.add_pi("a");
+    const AigLit b = aig.add_pi("b");
+    const AigLit c = aig.add_pi("c");
+    const AigLit ab = aig.land(a, b);
+    const AigLit abc = aig.land(ab, c);
+    aig.add_po(aig.lor(ab, abc), "y");
+
+    Rng rng(1);
+    const Aig out = remove_redundancies(aig, rng);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_EQ(out.count_reachable_ands(), 1u);  // just a&b remains
+}
+
+TEST(Redundancy, RemovesConsensusTerm) {
+    // y = a*b + !a*c + b*c: the consensus term b*c is redundant.
+    Aig aig;
+    const AigLit a = aig.add_pi("a");
+    const AigLit b = aig.add_pi("b");
+    const AigLit c = aig.add_pi("c");
+    const AigLit t1 = aig.land(a, b);
+    const AigLit t2 = aig.land(!a, c);
+    const AigLit t3 = aig.land(b, c);
+    aig.add_po(aig.lor(aig.lor(t1, t2), t3), "y");
+
+    Rng rng(2);
+    const Aig out = remove_redundancies(aig, rng);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_LT(out.count_reachable_ands(), aig.count_reachable_ands());
+}
+
+TEST(Redundancy, LeavesIrredundantCircuitsAlone) {
+    // A ripple-carry adder has no untestable stuck-at-1 input faults.
+    const Aig rca = ripple_carry_adder(3);
+    Rng rng(3);
+    const Aig out = remove_redundancies(rca, rng);
+    EXPECT_TRUE(check_equivalence(rca, out).equivalent);
+    EXPECT_EQ(out.count_reachable_ands(), rca.count_reachable_ands());
+}
+
+TEST(Redundancy, SatPathOnWideCircuits) {
+    // > 14 PIs: candidates that survive the simulation screen go to SAT.
+    Aig aig;
+    std::vector<AigLit> pis;
+    for (int i = 0; i < 16; ++i) pis.push_back(aig.add_pi());
+    AigLit wide_and = aig.land_many(pis);
+    // Redundant: OR with a term contained in the wide AND.
+    const AigLit contained = aig.land(aig.land(pis[0], pis[1]), wide_and);
+    aig.add_po(aig.lor(wide_and, contained), "y");
+
+    Rng rng(4);
+    const Aig out = remove_redundancies(aig, rng);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_LE(out.count_reachable_ands(), aig.count_reachable_ands());
+}
+
+TEST(Redundancy, RespectsRemovalBudget) {
+    // With a zero budget the circuit is returned unchanged (just cleaned).
+    Aig aig;
+    const AigLit a = aig.add_pi();
+    const AigLit b = aig.add_pi();
+    const AigLit ab = aig.land(a, b);
+    aig.add_po(aig.lor(ab, aig.land(ab, a)), "y");
+    Rng rng(5);
+    const Aig out = remove_redundancies(aig, rng, /*max_removals=*/0);
+    EXPECT_TRUE(check_equivalence(aig, out).equivalent);
+    EXPECT_EQ(out.count_reachable_ands(), aig.cleanup().count_reachable_ands());
+}
+
+}  // namespace
+}  // namespace lls

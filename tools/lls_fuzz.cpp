@@ -1,0 +1,136 @@
+// lls_fuzz: randomized end-to-end robustness harness.
+//
+//   lls_fuzz [iterations] [base_seed]
+//
+// Each iteration generates a random circuit (random shape, PI/PO counts and
+// operator mix), pushes it through every optimization flow plus mapping and
+// the BLIF/AIGER round-trips, and verifies every step by CEC. Any failure
+// prints the reproducing seed and exits nonzero. Used before releases; the
+// unit-test suites run fixed subsets of the same checks.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "baseline/flows.hpp"
+#include "baseline/select_transform.hpp"
+#include "cec/cec.hpp"
+#include "cec/redundancy.hpp"
+#include "io/blif.hpp"
+#include "io/generators.hpp"
+#include "lookahead/optimize.hpp"
+#include "mapping/netlist.hpp"
+
+namespace {
+
+lls::Aig random_circuit(std::uint64_t seed) {
+    lls::Rng rng(seed);
+    const std::size_t num_pis = 4 + rng.next_below(20);
+    const std::size_t num_nodes = 10 + rng.next_below(120);
+    const std::size_t num_pos = 1 + rng.next_below(8);
+
+    lls::Aig aig;
+    std::vector<lls::AigLit> pool;
+    for (std::size_t i = 0; i < num_pis; ++i) pool.push_back(aig.add_pi());
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+        auto pick = [&]() {
+            lls::AigLit l = pool[rng.next_below(pool.size())];
+            return rng.next_bool() ? !l : l;
+        };
+        const lls::AigLit x = pick(), y = pick(), z = pick();
+        switch (rng.next_below(5)) {
+            case 0: pool.push_back(aig.land(x, y)); break;
+            case 1: pool.push_back(aig.lor(x, y)); break;
+            case 2: pool.push_back(aig.lxor(x, y)); break;
+            case 3: pool.push_back(aig.lmux(x, y, z)); break;
+            default: pool.push_back(aig.land(x, aig.lor(y, z))); break;
+        }
+    }
+    for (std::size_t o = 0; o < num_pos; ++o)
+        aig.add_po(pool[pool.size() - 1 - (o % pool.size())]);
+    return aig.cleanup();
+}
+
+bool verify(const char* what, std::uint64_t seed, const lls::Aig& a, const lls::Aig& b) {
+    const lls::CecResult cec = lls::check_equivalence(a, b, 2000000);
+    if (cec.resolved && cec.equivalent) return true;
+    std::fprintf(stderr, "FUZZ FAILURE: %s at seed %llu (%s)\n", what,
+                 static_cast<unsigned long long>(seed),
+                 cec.resolved ? "inequivalent" : "unresolved");
+    return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int iterations = argc > 1 ? std::atoi(argv[1]) : 25;
+    const std::uint64_t base_seed =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1000;
+
+    for (int i = 0; i < iterations; ++i) {
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+        const lls::Aig circuit = random_circuit(seed);
+        lls::Rng rng(seed ^ 0xf00d);
+
+        if (!verify("flow_sis", seed, circuit, lls::flow_sis(circuit, rng))) return 1;
+        if (!verify("flow_abc", seed, circuit, lls::flow_abc(circuit, rng))) return 1;
+        if (!verify("flow_dc", seed, circuit, lls::flow_dc(circuit, rng))) return 1;
+        if (!verify("select_transform", seed, circuit,
+                    lls::generalized_select_transform(circuit)))
+            return 1;
+        if (!verify("redundancy", seed, circuit,
+                    lls::remove_redundancies(circuit, rng, /*max_removals=*/20)))
+            return 1;
+
+        lls::LookaheadParams params;
+        params.max_iterations = 4;
+        params.seed = seed;
+        const lls::Aig optimized = lls::optimize_timing(circuit, params);
+        if (!verify("lookahead", seed, circuit, optimized)) return 1;
+
+        std::stringstream blif;
+        lls::write_blif(blif, optimized, "fuzz");
+        if (!verify("blif roundtrip", seed, optimized, lls::read_blif(blif))) return 1;
+
+        std::stringstream aag;
+        lls::write_aiger(aag, optimized);
+        if (!verify("aiger roundtrip", seed, optimized, lls::read_aiger(aag))) return 1;
+
+        // Mapped netlist vs AIG on a handful of random vectors.
+        const lls::CellLibrary lib = lls::CellLibrary::generic_70nm();
+        const lls::Netlist netlist = lls::map_to_netlist(optimized, lib);
+        lls::Rng vec_rng(seed ^ 0xbeef);
+        for (int v = 0; v < 64; ++v) {
+            std::uint64_t assignment = vec_rng.next_u64();
+            std::vector<bool> inputs(optimized.num_pis());
+            for (std::size_t k = 0; k < inputs.size(); ++k)
+                inputs[k] = (assignment >> (k % 64)) & 1;
+            const auto outs = netlist.evaluate(inputs);
+            // Reference: evaluate the AIG by direct traversal.
+            std::vector<char> value(optimized.num_nodes(), 0);
+            for (std::size_t k = 0; k < optimized.num_pis(); ++k)
+                value[optimized.pi(k)] = inputs[k] ? 1 : 0;
+            for (std::uint32_t id = 1; id < optimized.num_nodes(); ++id) {
+                if (!optimized.is_and(id)) continue;
+                const auto& n = optimized.node(id);
+                const bool f0 = (value[n.fanin0.node()] != 0) != n.fanin0.complemented();
+                const bool f1 = (value[n.fanin1.node()] != 0) != n.fanin1.complemented();
+                value[id] = (f0 && f1) ? 1 : 0;
+            }
+            for (std::size_t o = 0; o < optimized.num_pos(); ++o) {
+                const lls::AigLit po = optimized.po(o);
+                const bool expect = (value[po.node()] != 0) != po.complemented();
+                if (outs[o] != expect) {
+                    std::fprintf(stderr, "FUZZ FAILURE: mapped netlist at seed %llu\n",
+                                 static_cast<unsigned long long>(seed));
+                    return 1;
+                }
+            }
+        }
+        std::printf("seed %llu ok (pis=%zu ands=%zu depth=%d -> %d)\n",
+                    static_cast<unsigned long long>(seed), circuit.num_pis(),
+                    circuit.count_reachable_ands(), circuit.depth(), optimized.depth());
+    }
+    std::printf("fuzz: %d iterations passed\n", iterations);
+    return 0;
+}

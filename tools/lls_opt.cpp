@@ -1,0 +1,153 @@
+// lls_opt: command-line timing optimization driver.
+//
+//   lls_opt [options] <input.blif> [output.blif]
+//
+// Options:
+//   --flow sis|abc|dc|lookahead   optimization flow (default: lookahead)
+//   --iterations N                lookahead decomposition rounds (default 10)
+//   --no-verify                   skip the final equivalence check
+//   --map                         print a technology-mapping report
+//   --aiger PATH                  also dump the result as ASCII AIGER
+//   --verilog PATH                dump the mapped gate-level netlist as Verilog
+//   --stats                       print per-round decomposition log
+//
+// Exit code is nonzero on parse errors or a failed equivalence check.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baseline/flows.hpp"
+#include "cec/cec.hpp"
+#include "common/stopwatch.hpp"
+#include "io/blif.hpp"
+#include "lookahead/optimize.hpp"
+#include <fstream>
+
+#include "mapping/mapper.hpp"
+#include "mapping/netlist.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--no-verify]\n"
+                 "          [--map] [--aiger PATH] [--verilog PATH] [--stats] <input.blif> [output.blif]\n",
+                 argv0);
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string flow = "lookahead";
+    std::string input_path, output_path, aiger_path, verilog_path;
+    int iterations = 10;
+    bool verify = true, map_report = false, print_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--flow" && i + 1 < argc) {
+            flow = argv[++i];
+        } else if (arg == "--iterations" && i + 1 < argc) {
+            iterations = std::atoi(argv[++i]);
+        } else if (arg == "--no-verify") {
+            verify = false;
+        } else if (arg == "--map") {
+            map_report = true;
+        } else if (arg == "--aiger" && i + 1 < argc) {
+            aiger_path = argv[++i];
+        } else if (arg == "--verilog" && i + 1 < argc) {
+            verilog_path = argv[++i];
+        } else if (arg == "--stats") {
+            print_stats = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (input_path.empty()) {
+            input_path = arg;
+        } else if (output_path.empty()) {
+            output_path = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (input_path.empty()) return usage(argv[0]);
+
+    lls::Aig circuit;
+    try {
+        circuit = lls::read_blif_file(input_path);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error reading %s: %s\n", input_path.c_str(), e.what());
+        return 1;
+    }
+    std::printf("%s: %zu PIs, %zu POs, %zu AND nodes, depth %d\n", input_path.c_str(),
+                circuit.num_pis(), circuit.num_pos(), circuit.count_reachable_ands(),
+                circuit.depth());
+
+    lls::Stopwatch sw;
+    lls::Aig optimized;
+    lls::OptimizeStats stats;
+    lls::Rng rng(1);
+    if (flow == "sis") {
+        optimized = lls::flow_sis(circuit, rng);
+    } else if (flow == "abc") {
+        optimized = lls::flow_abc(circuit, rng);
+    } else if (flow == "dc") {
+        optimized = lls::flow_dc(circuit, rng);
+    } else if (flow == "lookahead") {
+        lls::LookaheadParams params;
+        params.max_iterations = iterations;
+        optimized = lls::optimize_timing(circuit, params, &stats);
+    } else {
+        return usage(argv[0]);
+    }
+    std::printf("%s flow: depth %d -> %d, %zu -> %zu AND nodes (%.2fs)\n", flow.c_str(),
+                circuit.depth(), optimized.depth(), circuit.count_reachable_ands(),
+                optimized.count_reachable_ands(), sw.elapsed_seconds());
+    if (print_stats)
+        for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());
+
+    if (verify) {
+        const lls::CecResult cec = lls::check_equivalence(circuit, optimized, 4000000);
+        if (!cec.resolved) {
+            std::fprintf(stderr, "equivalence check UNRESOLVED (conflict limit)\n");
+            return 1;
+        }
+        if (!cec.equivalent) {
+            std::fprintf(stderr, "equivalence check FAILED\n");
+            return 1;
+        }
+        std::printf("equivalence check: PASS\n");
+    }
+
+    if (map_report) {
+        const lls::CellLibrary lib = lls::CellLibrary::generic_70nm();
+        const lls::MappedCircuit mapped = lls::map_circuit(optimized, lib);
+        std::printf("mapped: %zu gates, delay %.0f ps, area %.1f, power %.3f mW @1GHz\n",
+                    mapped.num_gates, mapped.delay_ps, mapped.area, mapped.power_mw);
+        for (const auto& [cell, count] : mapped.cell_histogram)
+            std::printf("  %-8s %d\n", cell.c_str(), count);
+    }
+
+    if (!output_path.empty()) {
+        lls::write_blif_file(output_path, optimized, "lls_opt");
+        std::printf("wrote %s\n", output_path.c_str());
+    }
+    if (!aiger_path.empty()) {
+        lls::write_aiger_file(aiger_path, optimized);
+        std::printf("wrote %s\n", aiger_path.c_str());
+    }
+    if (!verilog_path.empty()) {
+        const lls::CellLibrary lib = lls::CellLibrary::generic_70nm();
+        const lls::Netlist netlist = lls::map_to_netlist(optimized, lib);
+        std::ofstream vout(verilog_path);
+        if (!vout) {
+            std::fprintf(stderr, "cannot open %s\n", verilog_path.c_str());
+            return 1;
+        }
+        netlist.write_verilog(vout, "lls_mapped");
+        std::printf("wrote %s (%zu gates, %.0f ps critical path)\n", verilog_path.c_str(),
+                    netlist.num_gates(), netlist.critical_delay_ps());
+    }
+    return 0;
+}
