@@ -1,0 +1,100 @@
+// Scaling bench of the concurrent optimization engine: optimizes a
+// multi-output circuit (ripple-carry adder, every sum output on the
+// critical ripple chain) with an increasing number of jobs and reports
+// wall-clock speedup over the serial engine. The engine's determinism
+// contract makes the comparison exact: every job count must produce the
+// same depth and AND count, which this bench asserts.
+//
+//   bench_parallel [bits] [max_jobs] [iterations]
+//
+// Results go to stdout and to BENCH_parallel.json (machine-readable, one
+// object per jobs value) so the perf trajectory is tracked across PRs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "engine/engine.hpp"
+#include "io/generators.hpp"
+
+using namespace lls;
+
+int main(int argc, char** argv) {
+    const int bits = argc > 1 ? std::atoi(argv[1]) : 16;
+    const int max_jobs = argc > 2 ? std::atoi(argv[2]) : 4;
+    const int iterations = argc > 3 ? std::atoi(argv[3]) : 4;
+    if (bits < 2 || max_jobs < 1 || iterations < 1) {
+        std::fprintf(stderr, "usage: %s [bits>=2] [max_jobs>=1] [iterations>=1]\n", argv[0]);
+        return 2;
+    }
+
+    const Aig rca = ripple_carry_adder(bits);
+    LookaheadParams params;
+    params.max_iterations = iterations;
+
+    std::printf("parallel scaling: %d-bit ripple adder, %zu PIs, %zu POs, depth %d, %zu ANDs "
+                "(%zu hardware threads)\n",
+                bits, rca.num_pis(), rca.num_pos(), rca.depth(), rca.count_reachable_ands(),
+                ThreadPool::hardware_jobs());
+
+    struct Row {
+        int jobs;
+        double seconds;
+        int depth;
+        std::size_t ands;
+    };
+    std::vector<Row> rows;
+    std::vector<int> job_counts;
+    for (int j = 1; j <= max_jobs; j *= 2) job_counts.push_back(j);
+    if (job_counts.back() != max_jobs) job_counts.push_back(max_jobs);
+
+    for (const int jobs : job_counts) {
+        // Each jobs value must redo the full work: the process-wide memo
+        // would otherwise hand later runs the earlier runs' results and
+        // fake the scaling curve.
+        clear_engine_caches();
+        EngineOptions engine;
+        engine.jobs = jobs;
+        OptimizeStats stats;
+        Stopwatch sw;
+        const Aig out = optimize_timing_engine(rca, params, engine, &stats);
+        const double seconds = sw.elapsed_seconds();
+        if (!stats.verified) {
+            std::fprintf(stderr, "VERIFICATION FAILURE at jobs=%d\n", jobs);
+            return 1;
+        }
+        rows.push_back({jobs, seconds, out.depth(), out.count_reachable_ands()});
+        std::printf("  jobs=%-3d %8.2fs   depth %2d   %6zu ANDs   speedup %.2fx\n", jobs,
+                    seconds, out.depth(), out.count_reachable_ands(),
+                    rows.front().seconds / seconds);
+        std::fflush(stdout);
+    }
+
+    bool identical = true;
+    for (const auto& row : rows)
+        identical = identical && row.depth == rows.front().depth && row.ands == rows.front().ands;
+    std::printf("QoR identical across job counts: %s\n", identical ? "yes" : "NO (BUG)");
+
+    std::string json = "{\"circuit\":\"rca" + std::to_string(bits) + "\",\"bits\":" +
+                       std::to_string(bits) + ",\"iterations\":" + std::to_string(iterations) +
+                       ",\"hardware_threads\":" + std::to_string(ThreadPool::hardware_jobs()) +
+                       ",\"qor_identical\":" + (identical ? "true" : "false") + ",\"runs\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i) json += ',';
+        json += "{\"jobs\":" + std::to_string(rows[i].jobs) +
+                ",\"seconds\":" + std::to_string(rows[i].seconds) +
+                ",\"speedup\":" + std::to_string(rows.front().seconds / rows[i].seconds) +
+                ",\"depth\":" + std::to_string(rows[i].depth) +
+                ",\"ands\":" + std::to_string(rows[i].ands) + "}";
+    }
+    json += "]}\n";
+    if (std::FILE* f = std::fopen("BENCH_parallel.json", "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote BENCH_parallel.json\n");
+    }
+    return identical ? 0 : 1;
+}

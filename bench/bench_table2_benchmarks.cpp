@@ -10,6 +10,7 @@
 // best baseline.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "baseline/flows.hpp"
@@ -59,6 +60,8 @@ int main() {
     double sum_delay[4] = {0, 0, 0, 0};
     double sum_power[4] = {0, 0, 0, 0};
     double sum_gates[4] = {0, 0, 0, 0};
+    std::string json = "{\"benchmarks\":[";
+    bool json_first = true;
 
     Stopwatch total;
     for (const auto& profile : profiles) {
@@ -77,6 +80,10 @@ int main() {
         r[3] = evaluate(circuit, ours, lib, flow_names[3], profile.name.c_str());
 
         std::printf("%-22s %3d/%-5d |", profile.name.c_str(), profile.num_pis, profile.num_pos);
+        if (!json_first) json += ',';
+        json_first = false;
+        json += "{\"name\":\"" + profile.name + "\",\"pis\":" + std::to_string(profile.num_pis) +
+                ",\"pos\":" + std::to_string(profile.num_pos) + ",\"flows\":{";
         for (int f = 0; f < 4; ++f) {
             std::printf(" %10zu %3d %6.0f %6.3f |", r[f].gates, r[f].levels, r[f].delay_ps,
                         r[f].power_mw);
@@ -84,7 +91,13 @@ int main() {
             sum_levels[f] += r[f].levels;
             sum_delay[f] += r[f].delay_ps;
             sum_power[f] += r[f].power_mw;
+            if (f) json += ',';
+            json += "\"" + std::string(flow_names[f]) + "\":{\"gates\":" +
+                    std::to_string(r[f].gates) + ",\"levels\":" + std::to_string(r[f].levels) +
+                    ",\"delay_ps\":" + std::to_string(r[f].delay_ps) +
+                    ",\"power_mw\":" + std::to_string(r[f].power_mw) + "}";
         }
+        json += "}}";
         std::printf("\n");
         std::fflush(stdout);
     }
@@ -111,5 +124,12 @@ int main() {
     reduction(sum_gates);
     std::printf("(paper: levels -40%%/-56%%/-22%%, delay -21%%/-56%%/-10%%, power ~+10%% vs DC; "
                 "all circuits CEC-verified; %.1fs total)\n", total.elapsed_seconds());
+
+    json += "],\"total_seconds\":" + std::to_string(total.elapsed_seconds()) + "}\n";
+    if (std::FILE* f = std::fopen("BENCH_table2.json", "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote BENCH_table2.json\n");
+    }
     return 0;
 }

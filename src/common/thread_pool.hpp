@@ -1,0 +1,139 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace lls {
+
+/// Fixed-size task-queue thread pool.
+///
+/// Tasks are submitted as callables and run on one of `size()` worker
+/// threads; `submit` returns a `std::future` carrying the result (or the
+/// exception the task threw). A pool of size 0 is a valid degenerate pool:
+/// every task runs inline on the calling thread, which gives callers a
+/// single code path for serial and concurrent execution.
+///
+/// `parallel_for` dispatches a half-open index range across the workers
+/// with the *calling thread participating*, so a pool of size N applies
+/// N+1 threads to the range. Indices are handed out through a shared
+/// atomic cursor (work-stealing in the limit of chunk size 1): workers
+/// that finish early keep pulling indices, so uneven per-index cost does
+/// not serialize the loop. The first exception thrown by any iteration is
+/// rethrown on the calling thread after the range completes.
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t num_threads) {
+        workers_.reserve(num_threads);
+        for (std::size_t i = 0; i < num_threads; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        wake_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Number of jobs to use when the caller asked for "all of the machine".
+    static std::size_t hardware_jobs() {
+        const unsigned n = std::thread::hardware_concurrency();
+        return n == 0 ? 1 : n;
+    }
+
+    /// Schedules `fn` on a worker (or runs it inline when the pool has no
+    /// workers). The future reports the value or rethrows the exception.
+    template <typename F>
+    auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return result;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        wake_.notify_one();
+        return result;
+    }
+
+    /// Runs `body(i)` for every i in [begin, end). Blocks until the whole
+    /// range is done; rethrows the first exception any iteration threw.
+    template <typename F>
+    void parallel_for(std::size_t begin, std::size_t end, F&& body) {
+        if (begin >= end) return;
+        auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+        auto failed = std::make_shared<std::atomic<bool>>(false);
+        auto first_error = std::make_shared<std::exception_ptr>();
+        auto error_mutex = std::make_shared<std::mutex>();
+
+        auto drain = [cursor, failed, first_error, error_mutex, end, &body]() {
+            for (;;) {
+                const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+                if (i >= end || failed->load(std::memory_order_relaxed)) return;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(*error_mutex);
+                    if (!*first_error) *first_error = std::current_exception();
+                    failed->store(true, std::memory_order_relaxed);
+                }
+            }
+        };
+
+        // One helper task per worker is enough: each helper drains the
+        // shared cursor until the range is exhausted.
+        std::vector<std::future<void>> helpers;
+        const std::size_t span = end - begin;
+        const std::size_t num_helpers = workers_.empty() ? 0 : std::min(workers_.size(), span);
+        helpers.reserve(num_helpers);
+        for (std::size_t t = 0; t < num_helpers; ++t) helpers.push_back(submit(drain));
+        drain();
+        for (auto& h : helpers) h.get();
+        if (*first_error) std::rethrow_exception(*first_error);
+    }
+
+private:
+    void worker_loop() {
+        for (;;) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+                if (queue_.empty()) return;  // stopping_ and drained
+                task = std::move(queue_.front());
+                queue_.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+}  // namespace lls

@@ -1,0 +1,62 @@
+#include "engine/cache.hpp"
+
+namespace lls {
+
+namespace {
+
+/// Global registry of cache stats providers. Caches are process-lifetime
+/// singletons, so providers never dangle; the mutex only guards the vector
+/// itself (registration happens once per cache, snapshots are rare).
+struct CacheRegistry {
+    std::mutex mutex;
+    std::vector<std::function<CacheStatsSnapshot()>> providers;
+};
+
+CacheRegistry& registry() {
+    static CacheRegistry instance;
+    return instance;
+}
+
+}  // namespace
+
+namespace detail {
+
+void register_cache(std::function<CacheStatsSnapshot()> provider) {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.providers.push_back(std::move(provider));
+}
+
+}  // namespace detail
+
+std::vector<CacheStatsSnapshot> all_cache_stats() {
+    std::vector<std::function<CacheStatsSnapshot()>> providers;
+    {
+        auto& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        providers = reg.providers;
+    }
+    std::vector<CacheStatsSnapshot> stats;
+    stats.reserve(providers.size());
+    for (const auto& p : providers) stats.push_back(p());
+    return stats;
+}
+
+std::string npn_cache_key(const TruthTable& canonical, int extra) {
+    std::string key = std::to_string(canonical.num_vars());
+    key += ':';
+    key += canonical.to_hex();
+    if (extra != 0) {
+        key += ':';
+        key += std::to_string(extra);
+    }
+    return key;
+}
+
+ShardedCache<std::pair<std::uint64_t, std::uint64_t>, bool, U64PairHash>& cec_memo() {
+    static ShardedCache<std::pair<std::uint64_t, std::uint64_t>, bool, U64PairHash> instance(
+        "cec_memo", /*max_entries_per_shard=*/8192);
+    return instance;
+}
+
+}  // namespace lls

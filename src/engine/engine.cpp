@@ -1,0 +1,376 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "aig/aig_build.hpp"
+#include "baseline/restructure.hpp"
+#include "cec/cec.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+#include "engine/metrics.hpp"
+#include "lookahead/decompose.hpp"
+
+namespace lls {
+
+namespace {
+
+/// One round of conventional delay-oriented restructuring (the "existing
+/// logic optimization algorithms" the paper's technique complements).
+Aig restructure_round(const Aig& aig) {
+    RestructureOptions delay_opt;
+    delay_opt.delay_oriented = true;
+    delay_opt.cut_size = 8;
+    return balance(restructure(aig, delay_opt));
+}
+
+bool better(const Aig& a, const Aig& b) {
+    const int da = a.depth(), db = b.depth();
+    return da < db || (da == db && a.count_reachable_ands() < b.count_reachable_ands());
+}
+
+/// Fingerprint of every LookaheadParams field `decompose_output` reads. A
+/// memo entry is only valid for identical parameters, and the per-cone RNG
+/// seed is derived from this fingerprint + the cone's structural hash so
+/// that a cone's outcome depends on nothing but (cone, params) — the root
+/// of the jobs-invariance guarantee.
+std::uint64_t params_fingerprint(const LookaheadParams& p) {
+    std::uint64_t h = 0x6c6f6f6b61686561ULL;  // "lookahea"
+    h = hash_mix(h, static_cast<std::uint64_t>(p.cut_size));
+    h = hash_mix(h, static_cast<std::uint64_t>(p.max_cuts));
+    h = hash_mix(h, p.num_random_patterns);
+    h = hash_mix(h, p.force_random_patterns);
+    h = hash_mix(h, p.seed);
+    h = hash_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(p.spcf_slack)));
+    h = hash_mix(h, static_cast<std::uint64_t>(p.sat_conflict_limit));
+    h = hash_mix(h, p.use_implication_rules);
+    h = hash_mix(h, p.secondary_simplification);
+    return h;
+}
+
+/// Decomposition memo: (cone structural hash, params fingerprint) -> the
+/// outcome, nullptr recording "no improvement found" (negative results are
+/// just as expensive to recompute). Shared across runs in the process.
+using DecomposeMemo = ShardedCache<std::pair<std::uint64_t, std::uint64_t>,
+                                   std::shared_ptr<const DecomposeOutcome>, U64PairHash>;
+
+DecomposeMemo& decompose_memo() {
+    static DecomposeMemo instance("decompose_memo", /*max_entries_per_shard=*/2048);
+    return instance;
+}
+
+/// Equivalence check with the structural-hash verdict memo in front. Only
+/// resolved verdicts are stored; a memo hit returns no counterexample
+/// (engine callers only branch on resolved/equivalent).
+CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t conflict_limit,
+                                 bool use_cache) {
+    if (!use_cache) return check_equivalence(a, b, conflict_limit);
+    const auto [lo, hi] = std::minmax(a.hash(), b.hash());
+    const std::pair<std::uint64_t, std::uint64_t> key{lo, hi};
+    if (const auto verdict = cec_memo().get(key)) {
+        CecResult r;
+        r.equivalent = *verdict;
+        r.resolved = true;
+        return r;
+    }
+    CecResult r = check_equivalence(a, b, conflict_limit);
+    if (r.resolved) cec_memo().put(key, r.equivalent);
+    return r;
+}
+
+}  // namespace
+
+Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
+                           const EngineOptions& engine, OptimizeStats* stats) {
+    Metrics& metrics = Metrics::global();
+    MetricCounter& cones_evaluated = metrics.counter("engine.cones_evaluated");
+    MetricCounter& cones_improved = metrics.counter("engine.cones_improved");
+    MetricCounter& rounds_run = metrics.counter("engine.rounds");
+    MetricTimer& evaluate_timer = metrics.timer("engine.evaluate");
+    MetricTimer& commit_timer = metrics.timer("engine.commit");
+    MetricTimer& restructure_timer = metrics.timer("engine.restructure");
+    MetricTimer& sweep_timer = metrics.timer("engine.sat_sweep");
+    MetricTimer& cec_timer = metrics.timer("engine.cec");
+    MetricTimer& total_timer = metrics.timer("engine.total");
+    const ScopedTimer total_scope(total_timer);
+    metrics.counter("engine.runs").add();
+
+    // The calling thread participates in parallel_for, so a pool of
+    // jobs - 1 workers applies exactly `jobs` threads to the cone fan-out.
+    const int jobs = std::max(1, engine.jobs);
+    ThreadPool pool(static_cast<std::size_t>(jobs - 1));
+    const std::uint64_t fingerprint = params_fingerprint(params);
+
+    // Master RNG for the *serial* stages (SAT sweeping). Candidate
+    // evaluation never draws from it: each cone gets its own generator
+    // seeded from (params fingerprint, cone hash), so the fan-out order —
+    // and therefore the job count — cannot influence any outcome.
+    Rng rng(params.seed);
+    const Aig original = input.cleanup();
+    Stopwatch budget_clock;
+    auto out_of_budget = [&]() {
+        return params.time_budget_seconds > 0.0 &&
+               budget_clock.elapsed_seconds() > params.time_budget_seconds;
+    };
+
+    OptimizeStats local;
+    local.initial_depth = original.depth();
+    local.initial_ands = original.count_reachable_ands();
+    const std::size_t and_budget = 8 * std::max<std::size_t>(local.initial_ands, 64);
+
+    Aig best = original;
+
+    // Each iteration applies one level of lookahead decomposition to every
+    // critical output, then (optionally) rounds of conventional
+    // restructuring that flatten the freshly built window/mux logic — the
+    // step that turns iterated single-level decompositions into the
+    // prefix-style trees of the paper's Eqn. 2. An iteration that keeps the
+    // depth flat is tolerated for a bounded number of rounds (the rewrite
+    // into window form often pays off only once a later round flattens the
+    // nested windows); the best circuit seen anywhere is what is returned.
+    // Above this size, SAT sweeping and CEC run per *pass* instead of per
+    // iteration (every per-cone decomposition is CEC-verified regardless,
+    // and the returned circuit is always verified against the input).
+    constexpr std::size_t kPerIterationCheckLimit = 1500;
+
+    // Evaluation of one candidate: pure function of (current, po, params).
+    auto evaluate_cone = [&](const Aig& current,
+                             std::size_t po) -> std::shared_ptr<const DecomposeOutcome> {
+        const Aig cone = extract_cone(current, po);
+        const std::uint64_t cone_hash = cone.hash();
+        auto compute = [&]() -> std::shared_ptr<const DecomposeOutcome> {
+            cones_evaluated.add();
+            Rng cone_rng(hash_mix(fingerprint, cone_hash));
+            if (auto outcome = decompose_output(cone, params, cone_rng))
+                return std::make_shared<const DecomposeOutcome>(std::move(*outcome));
+            return nullptr;
+        };
+        if (!engine.use_result_cache) return compute();
+        return decompose_memo().get_or_compute({cone_hash, fingerprint}, compute);
+    };
+
+    auto run_decomposition_loop = [&](Aig current) {
+        int plateau = 0;
+        constexpr int kMaxPlateau = 2;
+        bool touched = false;
+        for (int iter = 0; iter < params.max_iterations && !out_of_budget(); ++iter) {
+            const int depth = current.depth();
+            if (depth < 2) break;
+            const auto levels = current.compute_levels();
+
+            // Gather the timing-critical POs: one evaluation task per
+            // distinct driver node (a complemented sibling PO reuses the
+            // result with an inverted output), keyed to the first PO that
+            // references the driver.
+            struct ConeTask {
+                std::size_t po;
+            };
+            std::vector<ConeTask> tasks;
+            std::unordered_map<std::uint32_t, std::size_t> driver_task;
+            for (std::size_t o = 0; o < current.num_pos(); ++o) {
+                const AigLit driver = current.po(o);
+                if (levels[driver.node()] != depth) continue;
+                if (driver_task.emplace(driver.node(), tasks.size()).second)
+                    tasks.push_back({o});
+            }
+
+            // Fan the candidate evaluations across the workers. Workers
+            // only read `current` (cone extraction copies what they need)
+            // and build private cones, simulators, and SAT solvers.
+            std::vector<std::shared_ptr<const DecomposeOutcome>> outcomes(tasks.size());
+            {
+                const ScopedTimer evaluate_scope(evaluate_timer);
+                pool.parallel_for(0, tasks.size(), [&](std::size_t i) {
+                    if (out_of_budget()) return;
+                    outcomes[i] = evaluate_cone(current, tasks[i].po);
+                });
+            }
+
+            // Serial commit in PO order: rebuild the circuit output by
+            // output, splicing in the verified candidates. The order is
+            // fixed, so the result is identical for every job count.
+            Aig next;
+            int improved_outputs = 0;
+            {
+                const ScopedTimer commit_scope(commit_timer);
+                std::vector<AigLit> pi_map;
+                pi_map.reserve(current.num_pis());
+                for (std::size_t i = 0; i < current.num_pis(); ++i)
+                    pi_map.push_back(next.add_pi(current.pi_name(i)));
+                const auto original_pos = append_aig(next, current, pi_map);
+
+                // Literal of the *uncomplemented* driver function per task,
+                // valid once the task's outcome has been appended.
+                std::vector<AigLit> task_base(tasks.size());
+                std::vector<bool> task_appended(tasks.size(), false);
+                for (std::size_t o = 0; o < current.num_pos(); ++o) {
+                    AigLit po_lit = original_pos[o];
+                    const AigLit driver = current.po(o);
+                    const auto it = levels[driver.node()] == depth
+                                        ? driver_task.find(driver.node())
+                                        : driver_task.end();
+                    if (it != driver_task.end() && outcomes[it->second]) {
+                        const std::size_t t = it->second;
+                        const DecomposeOutcome& outcome = *outcomes[t];
+                        if (!task_appended[t]) {
+                            const auto new_outs = append_aig(next, outcome.aig, pi_map);
+                            const bool first_complemented =
+                                current.po(tasks[t].po).complemented();
+                            task_base[t] = first_complemented ? !new_outs[0] : new_outs[0];
+                            task_appended[t] = true;
+                            local.log.push_back(
+                                "iter " + std::to_string(iter) + " po " +
+                                current.po_name(tasks[t].po) + ": depth " +
+                                std::to_string(outcome.old_depth) + " -> " +
+                                std::to_string(outcome.new_depth) + " (" +
+                                std::to_string(outcome.num_windows) + " windows, " +
+                                outcome.reconstruction + ")");
+                        }
+                        po_lit = driver.complemented() ? !task_base[t] : task_base[t];
+                        ++improved_outputs;
+                    }
+                    next.add_po(po_lit, current.po_name(o));
+                }
+            }
+
+            Aig candidate = next.cleanup();
+            if (params.baseline_preoptimize) {
+                const ScopedTimer restructure_scope(restructure_timer);
+                for (int r = 0; r < 10; ++r) {
+                    Aig restructured = restructure_round(candidate);
+                    if (restructured.depth() >= candidate.depth()) break;
+                    candidate = std::move(restructured);
+                }
+            }
+            const bool small = candidate.count_reachable_ands() <= kPerIterationCheckLimit;
+            if (params.area_recovery && small) {
+                const ScopedTimer sweep_scope(sweep_timer);
+                candidate = sat_sweep(candidate, rng);
+            }
+
+            const int candidate_depth = candidate.depth();
+            if (candidate_depth > depth) break;  // regression: keep the best seen
+            if (candidate_depth == depth) {
+                if (improved_outputs == 0 || ++plateau > kMaxPlateau) break;
+            } else {
+                plateau = 0;
+            }
+            if (candidate.count_reachable_ands() > and_budget) break;  // runaway duplication
+
+            if (params.verify_each_iteration && small) {
+                const ScopedTimer cec_scope(cec_timer);
+                const CecResult cec = check_equivalence_memo(
+                    candidate, current, /*conflict_limit=*/1000000, engine.use_result_cache);
+                if (!cec.resolved || !cec.equivalent) {
+                    // A failed or unresolved check means this round cannot
+                    // be trusted; keep the last verified circuit.
+                    local.verified = local.verified && cec.resolved;
+                    break;
+                }
+            }
+
+            local.outputs_decomposed += improved_outputs;
+            ++local.iterations;
+            touched = true;
+            current = std::move(candidate);
+            if (better(current, best)) best = current;
+        }
+
+        // Pass-level area recovery and verification for circuits that were
+        // too large for per-iteration checks.
+        if (touched && best.count_reachable_ands() > kPerIterationCheckLimit) {
+            if (params.area_recovery) {
+                const ScopedTimer sweep_scope(sweep_timer);
+                Aig swept = sat_sweep(best, rng);
+                if (!better(best, swept)) best = std::move(swept);
+            }
+            if (params.verify_each_iteration) {
+                const ScopedTimer cec_scope(cec_timer);
+                const CecResult cec = check_equivalence_memo(
+                    best, original, /*conflict_limit=*/4000000, engine.use_result_cache);
+                if (!cec.resolved || !cec.equivalent) {
+                    local.verified = local.verified && cec.resolved;
+                    best = original;  // cannot trust anything from this pass
+                }
+            }
+        }
+    };
+
+    // Pass 1: decomposition starting from the raw circuit (deep chains are
+    // where the windows are easiest to find).
+    run_decomposition_loop(original);
+
+    // Pass 2: conventional restructuring alone, then decomposition on top
+    // of it — the paper's deployment ("complements existing logic
+    // optimization algorithms"). Whichever pass wins is returned.
+    if (params.baseline_preoptimize) {
+        Aig preopt = balance(original);
+        if (better(preopt, best)) best = preopt;
+        for (int r = 0; r < 10; ++r) {
+            Aig restructured;
+            {
+                const ScopedTimer restructure_scope(restructure_timer);
+                restructured = restructure_round(preopt);
+            }
+            if (params.area_recovery) {
+                const ScopedTimer sweep_scope(sweep_timer);
+                restructured = sat_sweep(restructured, rng);
+            }
+            if (restructured.depth() >= preopt.depth()) break;
+            preopt = std::move(restructured);
+        }
+        if (params.verify_each_iteration) {
+            const ScopedTimer cec_scope(cec_timer);
+            const CecResult cec = check_equivalence_memo(preopt, original,
+                                                         /*conflict_limit=*/1000000,
+                                                         engine.use_result_cache);
+            if (!cec.resolved || !cec.equivalent) {
+                local.verified = local.verified && cec.resolved;
+                preopt = original;
+            }
+        }
+        if (better(preopt, best)) best = preopt;
+        if (preopt.depth() < original.depth()) run_decomposition_loop(preopt);
+    }
+
+    local.final_depth = best.depth();
+    local.final_ands = best.count_reachable_ands();
+    rounds_run.add(static_cast<std::uint64_t>(local.iterations));
+    cones_improved.add(static_cast<std::uint64_t>(local.outputs_decomposed));
+    if (stats) *stats = local;
+    return best;
+}
+
+Aig optimize_timing(const Aig& input, const LookaheadParams& params, OptimizeStats* stats) {
+    return optimize_timing_engine(input, params, EngineOptions{}, stats);
+}
+
+std::vector<BatchOutcome> optimize_timing_batch(const std::vector<BatchItem>& items,
+                                                const LookaheadParams& params,
+                                                const EngineOptions& engine) {
+    std::vector<BatchOutcome> outcomes(items.size());
+    const std::size_t jobs = static_cast<std::size_t>(std::max(1, engine.jobs));
+    ThreadPool pool(std::min(jobs - 1, items.empty() ? 0 : items.size() - 1));
+    EngineOptions per_item = engine;
+    per_item.jobs = 1;  // circuit-level parallelism dominates in a batch
+    pool.parallel_for(0, items.size(), [&](std::size_t i) {
+        Stopwatch item_clock;
+        outcomes[i].name = items[i].name;
+        outcomes[i].output =
+            optimize_timing_engine(items[i].input, params, per_item, &outcomes[i].stats);
+        outcomes[i].seconds = item_clock.elapsed_seconds();
+    });
+    return outcomes;
+}
+
+CacheStatsSnapshot decomposition_cache_stats() { return decompose_memo().stats(); }
+
+void clear_engine_caches() {
+    decompose_memo().clear();
+    cec_memo().clear();
+}
+
+}  // namespace lls

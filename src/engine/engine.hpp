@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "engine/cache.hpp"
+#include "lookahead/optimize.hpp"
+#include "lookahead/params.hpp"
+
+namespace lls {
+
+/// Execution knobs of the concurrent optimization engine. These control
+/// *how* the flow runs, never *what* it computes: with
+/// `params.time_budget_seconds == 0` the result is bit-identical for every
+/// `jobs` value (see docs/ENGINE.md, "Determinism contract").
+struct EngineOptions {
+    /// Worker threads used to evaluate per-cone decomposition candidates
+    /// (and, in batch mode, to run whole circuits). 1 = serial.
+    int jobs = 1;
+
+    /// Consult/populate the process-wide decomposition memo (keyed by cone
+    /// structural hash + parameter fingerprint) and the CEC verdict memo.
+    bool use_result_cache = true;
+};
+
+/// The paper's timing-driven flow, executed by the concurrent engine: each
+/// round fans the candidate lookahead decompositions of all timing-critical
+/// POs across `engine.jobs` workers (every worker owns its cone copy,
+/// simulation state, and SAT solvers), then commits the verified winners
+/// serially in PO order. `optimize_timing` is this function with the
+/// default (serial) EngineOptions.
+Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
+                           const EngineOptions& engine, OptimizeStats* stats = nullptr);
+
+/// One circuit of a batch run.
+struct BatchItem {
+    std::string name;
+    Aig input;
+};
+
+struct BatchOutcome {
+    std::string name;
+    Aig output;
+    OptimizeStats stats;
+    double seconds = 0.0;
+};
+
+/// Optimizes every item of a batch, running up to `engine.jobs` circuits
+/// concurrently (each circuit itself serial — circuit-level parallelism
+/// dominates when there are many inputs). Outcomes are returned in input
+/// order regardless of completion order.
+std::vector<BatchOutcome> optimize_timing_batch(const std::vector<BatchItem>& items,
+                                                const LookaheadParams& params,
+                                                const EngineOptions& engine);
+
+/// Stats of the process-wide decomposition memo (tests and --metrics).
+CacheStatsSnapshot decomposition_cache_stats();
+
+/// Drops every entry of the engine's process-wide caches (decomposition
+/// memo and CEC memo). Counters are not reset.
+void clear_engine_caches();
+
+}  // namespace lls

@@ -5,6 +5,7 @@
 
 #include "aig/aig_build.hpp"
 #include "aig/cuts.hpp"
+#include "engine/cache.hpp"
 #include "exact/exact_synthesis.hpp"
 #include "tt/npn.hpp"
 
@@ -15,35 +16,27 @@ namespace {
 /// Process-wide caches: NPN canonization and exact structures per canonical
 /// class. Both are pure functions of the truth table, so sharing them
 /// across rewrite() calls (and circuits) is sound and makes repeated flow
-/// invocations cheap. Single-threaded by design, like the rest of the
-/// library.
-struct ClassCaches {
-    std::unordered_map<std::string, NpnResult> npn;
-    std::unordered_map<std::string, std::optional<ExactStructure>> structures;
-};
-
-ClassCaches& caches() {
-    static ClassCaches instance;
+/// invocations cheap. Sharded + mutex-striped so the engine's workers and
+/// batch-mode circuits can rewrite concurrently.
+ShardedCache<std::string, NpnResult>& npn_cache() {
+    static ShardedCache<std::string, NpnResult> instance("npn_canon");
     return instance;
 }
 
-const NpnResult& canonize_cached(const TruthTable& tt) {
-    auto& cache = caches().npn;
-    const std::string key = std::to_string(tt.num_vars()) + ":" + tt.to_hex();
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
-    return cache.emplace(key, npn_canonize(tt)).first->second;
+ShardedCache<std::string, std::optional<ExactStructure>>& structure_cache() {
+    static ShardedCache<std::string, std::optional<ExactStructure>> instance("exact_structures");
+    return instance;
 }
 
-const std::optional<ExactStructure>& structure_cached(const TruthTable& canonical, int max_gates,
-                                                      std::int64_t conflict_limit) {
-    auto& cache = caches().structures;
-    const std::string key = std::to_string(canonical.num_vars()) + ":" + canonical.to_hex() +
-                            ":" + std::to_string(max_gates);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
-    return cache.emplace(key, exact_synthesize(canonical, max_gates, conflict_limit))
-        .first->second;
+NpnResult canonize_cached(const TruthTable& tt) {
+    return npn_cache().get_or_compute(npn_cache_key(tt), [&] { return npn_canonize(tt); });
+}
+
+std::optional<ExactStructure> structure_cached(const TruthTable& canonical, int max_gates,
+                                               std::int64_t conflict_limit) {
+    return structure_cache().get_or_compute(
+        npn_cache_key(canonical, max_gates),
+        [&] { return exact_synthesize(canonical, max_gates, conflict_limit); });
 }
 
 }  // namespace

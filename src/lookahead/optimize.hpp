@@ -25,6 +25,10 @@ struct OptimizeStats {
 /// current critical depth, rebuilds the circuit, recovers area by SAT
 /// sweeping, and verifies each accepted round by CEC. Iterations stop when
 /// no output improves or `params.max_iterations` is reached.
+///
+/// Implemented by the concurrent engine (src/engine/engine.cpp, linked via
+/// lls_engine) running serially; `optimize_timing_engine` in
+/// engine/engine.hpp exposes the multi-threaded driver with the same QoR.
 Aig optimize_timing(const Aig& input, const LookaheadParams& params = {},
                     OptimizeStats* stats = nullptr);
 

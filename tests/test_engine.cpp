@@ -1,0 +1,122 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cec/cec.hpp"
+#include "engine/metrics.hpp"
+#include "io/blif.hpp"
+#include "io/generators.hpp"
+
+namespace lls {
+namespace {
+
+/// QoR + structure fingerprint of an optimized circuit.
+struct Result {
+    int depth;
+    std::size_t ands;
+    std::uint64_t hash;
+};
+
+Result run(const Aig& input, int jobs, bool use_cache = true) {
+    LookaheadParams params;
+    params.max_iterations = 6;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    engine.use_result_cache = use_cache;
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(input, params, engine, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_TRUE(check_equivalence(input, out, 2000000).equivalent);
+    return {out.depth(), out.count_reachable_ands(), out.hash()};
+}
+
+TEST(Engine, JobsInvariantOnGeneratedAdders) {
+    for (const int bits : {6, 10}) {
+        const Aig rca = ripple_carry_adder(bits);
+        const Result serial = run(rca, 1);
+        const Result parallel4 = run(rca, 4);
+        EXPECT_EQ(serial.depth, parallel4.depth) << bits;
+        EXPECT_EQ(serial.ands, parallel4.ands) << bits;
+        // Stronger than QoR equality: the committed structure is identical.
+        EXPECT_EQ(serial.hash, parallel4.hash) << bits;
+        EXPECT_LT(serial.depth, rca.depth()) << bits;
+    }
+}
+
+TEST(Engine, JobsInvariantOnBlifRoundtrip) {
+    BenchmarkProfile profile;
+    profile.name = "engine_case";
+    profile.num_pis = 12;
+    profile.num_pos = 4;
+    profile.chain_length = 9;
+    profile.num_shared = 3;
+    profile.seed = 11;
+    const Aig circuit = synthetic_control_circuit(profile);
+
+    // Through the BLIF reader, as a real input file would arrive.
+    std::stringstream blif;
+    write_blif(blif, circuit, "engine_case");
+    const Aig parsed = read_blif(blif);
+
+    const Result serial = run(parsed, 1);
+    const Result parallel3 = run(parsed, 3);
+    EXPECT_EQ(serial.depth, parallel3.depth);
+    EXPECT_EQ(serial.ands, parallel3.ands);
+    EXPECT_EQ(serial.hash, parallel3.hash);
+}
+
+TEST(Engine, ResultCacheDoesNotChangeQoR) {
+    const Aig rca = ripple_carry_adder(7);
+    const Result cached = run(rca, 2, /*use_cache=*/true);
+    const Result uncached = run(rca, 2, /*use_cache=*/false);
+    EXPECT_EQ(cached.depth, uncached.depth);
+    EXPECT_EQ(cached.ands, uncached.ands);
+    EXPECT_EQ(cached.hash, uncached.hash);
+}
+
+TEST(Engine, CacheHitCountersIncreaseOnRepeatedRuns) {
+    const Aig rca = ripple_carry_adder(9);
+    run(rca, 1);
+    const CacheStatsSnapshot after_first = decomposition_cache_stats();
+    run(rca, 1);
+    const CacheStatsSnapshot after_second = decomposition_cache_stats();
+    // The second run re-derives the same cones, so it must hit the memo.
+    EXPECT_GT(after_second.hits, after_first.hits);
+    EXPECT_GT(after_second.entries, 0u);
+}
+
+TEST(Engine, BatchMatchesIndividualRuns) {
+    std::vector<BatchItem> items;
+    items.push_back({"rca6", ripple_carry_adder(6)});
+    items.push_back({"rca8", ripple_carry_adder(8)});
+
+    LookaheadParams params;
+    params.max_iterations = 6;
+    EngineOptions engine;
+    engine.jobs = 2;
+    const auto outcomes = optimize_timing_batch(items, params, engine);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        EXPECT_EQ(outcomes[i].name, items[i].name);
+        EXPECT_TRUE(check_equivalence(items[i].input, outcomes[i].output, 2000000).equivalent);
+        const Result individual = run(items[i].input, 1);
+        EXPECT_EQ(outcomes[i].output.depth(), individual.depth) << items[i].name;
+        EXPECT_EQ(outcomes[i].output.count_reachable_ands(), individual.ands) << items[i].name;
+    }
+}
+
+TEST(Engine, MetricsRecordRuns) {
+    Metrics& metrics = Metrics::global();
+    const std::uint64_t runs_before = metrics.counter("engine.runs").value();
+    run(ripple_carry_adder(5), 2);
+    EXPECT_GT(metrics.counter("engine.runs").value(), runs_before);
+    EXPECT_GT(metrics.timer("engine.evaluate").samples(), 0u);
+    const std::string json = metrics.to_json();
+    EXPECT_NE(json.find("\"engine.runs\""), std::string::npos);
+    EXPECT_NE(json.find("\"caches\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lls

@@ -1,0 +1,86 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace lls {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValues) {
+    ThreadPool pool(4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 0u);
+    auto f = pool.submit([] { return 42; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 10000;
+    std::vector<std::atomic<int>> touched(kN);
+    pool.parallel_for(0, kN, [&](std::size_t i) { touched[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndReversedRanges) {
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+    pool.parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(pool.parallel_for(0, 1000,
+                                   [&](std::size_t i) {
+                                       if (i == 17) throw std::logic_error("bad index");
+                                       completed.fetch_add(1);
+                                   }),
+                 std::logic_error);
+    EXPECT_LT(completed.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForWorksWithZeroWorkers) {
+    ThreadPool pool(0);
+    std::vector<int> out(64, 0);
+    pool.parallel_for(0, out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+    std::vector<int> expected(64);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(out, expected);
+}
+
+TEST(ThreadPool, UnevenTaskCostsStillComplete) {
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 200, [&](std::size_t i) {
+        long local = 0;
+        // index-dependent busywork so workers finish at different times
+        for (std::size_t k = 0; k < (i % 7) * 1000; ++k) local += static_cast<long>(k % 3);
+        sum.fetch_add(static_cast<long>(i) + (local & 1));
+    });
+    EXPECT_GE(sum.load(), 199L * 200L / 2);
+}
+
+TEST(ThreadPool, HardwareJobsIsPositive) { EXPECT_GE(ThreadPool::hardware_jobs(), 1u); }
+
+}  // namespace
+}  // namespace lls

@@ -1,25 +1,35 @@
 // lls_opt: command-line timing optimization driver.
 //
 //   lls_opt [options] <input.blif> [output.blif]
+//   lls_opt --batch [options] <input.blif> [input2.blif ...]
 //
 // Options:
 //   --flow sis|abc|dc|lookahead   optimization flow (default: lookahead)
 //   --iterations N                lookahead decomposition rounds (default 10)
+//   --jobs N                      worker threads (cone fan-out; batch circuits)
+//   --batch                       optimize every input concurrently (--jobs)
+//   --out-dir DIR                 batch mode: write DIR/<input> per circuit
 //   --no-verify                   skip the final equivalence check
 //   --map                         print a technology-mapping report
 //   --aiger PATH                  also dump the result as ASCII AIGER
 //   --verilog PATH                dump the mapped gate-level netlist as Verilog
 //   --stats                       print per-round decomposition log
+//   --metrics                     print engine stage timers + cache stats
 //
 // Exit code is nonzero on parse errors or a failed equivalence check.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
 #include "common/stopwatch.hpp"
+#include "engine/engine.hpp"
+#include "engine/metrics.hpp"
 #include "io/blif.hpp"
 #include "lookahead/optimize.hpp"
 #include <fstream>
@@ -31,26 +41,59 @@ namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--no-verify]\n"
-                 "          [--map] [--aiger PATH] [--verilog PATH] [--stats] <input.blif> [output.blif]\n",
-                 argv0);
+                 "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N]\n"
+                 "          [--no-verify] [--map] [--aiger PATH] [--verilog PATH] [--stats]\n"
+                 "          [--metrics] <input.blif> [output.blif]\n"
+                 "       %s --batch [options] [--out-dir DIR] <input.blif> [input2.blif ...]\n",
+                 argv0, argv0);
     return 2;
+}
+
+/// Strict integer option parsing: the whole token must be a number within
+/// [min_value, max_value]. (std::atoi would silently turn garbage into 0.)
+bool parse_int_option(const char* flag, const char* text, long min_value, long max_value,
+                      int* out) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || value < min_value || value > max_value) {
+        std::fprintf(stderr, "error: %s expects an integer in [%ld, %ld], got '%s'\n", flag,
+                     min_value, max_value, text);
+        return false;
+    }
+    *out = static_cast<int>(value);
+    return true;
+}
+
+std::string basename_of(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string flow = "lookahead";
-    std::string input_path, output_path, aiger_path, verilog_path;
+    std::vector<std::string> inputs;
+    std::string output_path, aiger_path, verilog_path, out_dir;
     int iterations = 10;
-    bool verify = true, map_report = false, print_stats = false;
+    int jobs = 1;
+    bool verify = true, map_report = false, print_stats = false, print_metrics = false;
+    bool batch = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--flow" && i + 1 < argc) {
             flow = argv[++i];
         } else if (arg == "--iterations" && i + 1 < argc) {
-            iterations = std::atoi(argv[++i]);
+            if (!parse_int_option("--iterations", argv[++i], 0, 1000000, &iterations))
+                return usage(argv[0]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            if (!parse_int_option("--jobs", argv[++i], 1, 1024, &jobs)) return usage(argv[0]);
+        } else if (arg == "--batch") {
+            batch = true;
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            out_dir = argv[++i];
         } else if (arg == "--no-verify") {
             verify = false;
         } else if (arg == "--map") {
@@ -61,18 +104,88 @@ int main(int argc, char** argv) {
             verilog_path = argv[++i];
         } else if (arg == "--stats") {
             print_stats = true;
+        } else if (arg == "--metrics") {
+            print_metrics = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
-        } else if (input_path.empty()) {
-            input_path = arg;
+        } else if (batch) {
+            inputs.push_back(arg);
+        } else if (inputs.empty()) {
+            inputs.push_back(arg);
         } else if (output_path.empty()) {
             output_path = arg;
         } else {
             return usage(argv[0]);
         }
     }
-    if (input_path.empty()) return usage(argv[0]);
+    if (inputs.empty()) return usage(argv[0]);
 
+    lls::LookaheadParams params;
+    params.max_iterations = iterations;
+    lls::EngineOptions engine;
+    engine.jobs = jobs;
+
+    // ---- batch mode: many circuits, one pool -------------------------------
+    if (batch) {
+        if (flow != "lookahead") {
+            std::fprintf(stderr, "error: --batch supports only --flow lookahead\n");
+            return 2;
+        }
+        if (!out_dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(out_dir, ec);
+            if (ec) {
+                std::fprintf(stderr, "error: cannot create --out-dir %s: %s\n", out_dir.c_str(),
+                             ec.message().c_str());
+                return 1;
+            }
+        }
+        std::vector<lls::BatchItem> items;
+        for (const auto& path : inputs) {
+            try {
+                items.push_back({path, lls::read_blif_file(path)});
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error reading %s: %s\n", path.c_str(), e.what());
+                return 1;
+            }
+        }
+        lls::Stopwatch sw;
+        const auto outcomes = lls::optimize_timing_batch(items, params, engine);
+        int exit_code = 0;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const auto& r = outcomes[i];
+            std::printf("%s: depth %d -> %d, %zu -> %zu AND nodes (%.2fs)\n", r.name.c_str(),
+                        r.stats.initial_depth, r.stats.final_depth, r.stats.initial_ands,
+                        r.stats.final_ands, r.seconds);
+            if (verify) {
+                const lls::CecResult cec =
+                    lls::check_equivalence(items[i].input, r.output, 4000000);
+                if (!cec.resolved || !cec.equivalent) {
+                    std::fprintf(stderr, "%s: equivalence check %s\n", r.name.c_str(),
+                                 cec.resolved ? "FAILED" : "UNRESOLVED");
+                    exit_code = 1;
+                    continue;
+                }
+            }
+            if (!out_dir.empty()) {
+                const std::string out_path = out_dir + "/" + basename_of(r.name);
+                try {
+                    lls::write_blif_file(out_path, r.output, "lls_opt");
+                    std::printf("wrote %s\n", out_path.c_str());
+                } catch (const std::exception& e) {
+                    std::fprintf(stderr, "error writing %s: %s\n", out_path.c_str(), e.what());
+                    exit_code = 1;
+                }
+            }
+        }
+        std::printf("batch: %zu circuits, %d jobs, %.2fs wall clock\n", outcomes.size(), jobs,
+                    sw.elapsed_seconds());
+        if (print_metrics) lls::Metrics::global().report(stdout);
+        return exit_code;
+    }
+
+    // ---- single-circuit mode ----------------------------------------------
+    const std::string& input_path = inputs[0];
     lls::Aig circuit;
     try {
         circuit = lls::read_blif_file(input_path);
@@ -95,17 +208,16 @@ int main(int argc, char** argv) {
     } else if (flow == "dc") {
         optimized = lls::flow_dc(circuit, rng);
     } else if (flow == "lookahead") {
-        lls::LookaheadParams params;
-        params.max_iterations = iterations;
-        optimized = lls::optimize_timing(circuit, params, &stats);
+        optimized = lls::optimize_timing_engine(circuit, params, engine, &stats);
     } else {
         return usage(argv[0]);
     }
-    std::printf("%s flow: depth %d -> %d, %zu -> %zu AND nodes (%.2fs)\n", flow.c_str(),
+    std::printf("%s flow: depth %d -> %d, %zu -> %zu AND nodes (%.2fs, %d jobs)\n", flow.c_str(),
                 circuit.depth(), optimized.depth(), circuit.count_reachable_ands(),
-                optimized.count_reachable_ands(), sw.elapsed_seconds());
+                optimized.count_reachable_ands(), sw.elapsed_seconds(), jobs);
     if (print_stats)
         for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());
+    if (print_metrics) lls::Metrics::global().report(stdout);
 
     if (verify) {
         const lls::CecResult cec = lls::check_equivalence(circuit, optimized, 4000000);
@@ -130,11 +242,21 @@ int main(int argc, char** argv) {
     }
 
     if (!output_path.empty()) {
-        lls::write_blif_file(output_path, optimized, "lls_opt");
+        try {
+            lls::write_blif_file(output_path, optimized, "lls_opt");
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error writing %s: %s\n", output_path.c_str(), e.what());
+            return 1;
+        }
         std::printf("wrote %s\n", output_path.c_str());
     }
     if (!aiger_path.empty()) {
-        lls::write_aiger_file(aiger_path, optimized);
+        try {
+            lls::write_aiger_file(aiger_path, optimized);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error writing %s: %s\n", aiger_path.c_str(), e.what());
+            return 1;
+        }
         std::printf("wrote %s\n", aiger_path.c_str());
     }
     if (!verilog_path.empty()) {

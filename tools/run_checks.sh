@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# run_checks.sh: tier-1 tests in the default configuration, then the
+# concurrency-sensitive engine tests under ThreadSanitizer.
+#
+#   tools/run_checks.sh [--skip-tsan]
+#
+# Exit code is nonzero if any stage fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "== stage 1: tier-1 tests (RelWithDebInfo) =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+    echo "== stage 2: skipped (--skip-tsan) =="
+    exit 0
+fi
+
+echo "== stage 2: engine tests under ThreadSanitizer =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target test_thread_pool test_engine
+(cd build-tsan && ctest -R 'test_thread_pool|test_engine' --output-on-failure)
+
+echo "== all checks passed =="
