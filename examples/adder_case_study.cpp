@@ -8,6 +8,7 @@
 #include <cstdlib>
 
 #include "cec/cec.hpp"
+#include "common/parse.hpp"
 #include "io/generators.hpp"
 #include "lookahead/optimize.hpp"
 #include "mapping/mapper.hpp"
@@ -23,7 +24,11 @@ void report(const char* name, const lls::Aig& adder, const lls::CellLibrary& lib
 }  // namespace
 
 int main(int argc, char** argv) {
-    const int bits = argc > 1 ? std::atoi(argv[1]) : 16;
+    int bits = 16;
+    if (argc > 1 && !lls::parse_int_option("bits", argv[1], 1, 4096, &bits)) {
+        std::fprintf(stderr, "usage: %s [bits]\n", argv[0]);
+        return 2;
+    }
     const lls::CellLibrary lib = lls::CellLibrary::generic_70nm();
 
     const lls::Aig rca = lls::ripple_carry_adder(bits);

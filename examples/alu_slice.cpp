@@ -12,6 +12,7 @@
 
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
+#include "common/parse.hpp"
 #include "lookahead/optimize.hpp"
 #include "mapping/mapper.hpp"
 
@@ -55,7 +56,11 @@ lls::Aig alu(int bits) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const int bits = argc > 1 ? std::atoi(argv[1]) : 12;
+    int bits = 12;
+    if (argc > 1 && !lls::parse_int_option("bits", argv[1], 1, 4096, &bits)) {
+        std::fprintf(stderr, "usage: %s [bits]\n", argv[0]);
+        return 2;
+    }
     const lls::Aig circuit = alu(bits);
     std::printf("%d-bit ALU: %zu PIs, %zu POs, %zu AND nodes, depth %d\n", bits,
                 circuit.num_pis(), circuit.num_pos(), circuit.count_reachable_ands(),

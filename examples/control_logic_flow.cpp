@@ -11,6 +11,7 @@
 
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
+#include "common/parse.hpp"
 #include "io/generators.hpp"
 #include "lookahead/optimize.hpp"
 #include "mapping/mapper.hpp"
@@ -32,9 +33,19 @@ void report(const char* name, const lls::Aig& original, const lls::Aig& optimize
 int main(int argc, char** argv) {
     lls::BenchmarkProfile profile;
     profile.name = "example";
-    profile.num_pis = argc > 1 ? std::atoi(argv[1]) : 48;
-    profile.num_pos = argc > 2 ? std::atoi(argv[2]) : 12;
-    profile.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 42;
+    int num_pis = 48, num_pos = 12;
+    std::uint64_t seed = 42;
+    const bool args_ok =
+        (argc <= 1 || lls::parse_int_option("num_pis", argv[1], 1, 100000, &num_pis)) &&
+        (argc <= 2 || lls::parse_int_option("num_pos", argv[2], 1, 100000, &num_pos)) &&
+        (argc <= 3 || lls::parse_u64_option("seed", argv[3], UINT64_MAX, &seed));
+    if (!args_ok) {
+        std::fprintf(stderr, "usage: %s [num_pis] [num_pos] [seed]\n", argv[0]);
+        return 2;
+    }
+    profile.num_pis = num_pis;
+    profile.num_pos = num_pos;
+    profile.seed = seed;
     profile.chain_length = 14;
     profile.num_shared = profile.num_pis / 2;
 

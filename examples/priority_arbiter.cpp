@@ -20,6 +20,7 @@
 
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
+#include "common/parse.hpp"
 #include "io/generators.hpp"
 #include "lookahead/optimize.hpp"
 #include "mapping/mapper.hpp"
@@ -44,7 +45,11 @@ lls::Aig priority_arbiter(int width) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const int width = argc > 1 ? std::atoi(argv[1]) : 24;
+    int width = 24;
+    if (argc > 1 && !lls::parse_int_option("width", argv[1], 1, 4096, &width)) {
+        std::fprintf(stderr, "usage: %s [width]\n", argv[0]);
+        return 2;
+    }
     const lls::Aig arbiter = priority_arbiter(width);
     std::printf("%d-way priority arbiter: %zu AND nodes, depth %d\n", width,
                 arbiter.count_reachable_ands(), arbiter.depth());

@@ -11,12 +11,17 @@
 #include <cstdlib>
 
 #include "cec/cec.hpp"
+#include "common/parse.hpp"
 #include "io/generators.hpp"
 #include "lookahead/optimize.hpp"
 #include "mapping/mapper.hpp"
 
 int main(int argc, char** argv) {
-    const int bits = argc > 1 ? std::atoi(argv[1]) : 12;
+    int bits = 12;
+    if (argc > 1 && !lls::parse_int_option("bits", argv[1], 1, 4096, &bits)) {
+        std::fprintf(stderr, "usage: %s [bits]\n", argv[0]);
+        return 2;
+    }
 
     // 1. Build a circuit. Any lls::Aig works; here the classic slow adder.
     //    (You can also construct one gate by gate via aig.add_pi() /

@@ -81,7 +81,8 @@ std::optional<std::vector<bool>> simulation_counterexample(const Aig& a, const A
 
 }  // namespace
 
-CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit) {
+CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit,
+                            WorkCost* cost) {
     LLS_REQUIRE(a.num_pis() == b.num_pis());
     LLS_REQUIRE(a.num_pos() == b.num_pos());
 
@@ -113,7 +114,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
 
     Rng rng(0xfaced5eedULL);
     const Aig swept = sat_sweep(joint, rng, /*conflict_limit=*/5000, /*num_patterns=*/2048,
-                                /*depth_aware=*/false);
+                                /*depth_aware=*/false, cost);
 
     std::vector<std::size_t> unresolved;
     for (std::size_t o = 0; o < a.num_pos(); ++o)
@@ -143,6 +144,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
     solver.add_clause(std::move(xor_lits));
 
     const sat::Status status = solver.solve({}, conflict_limit);
+    if (cost) cost->sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
     if (status == sat::Status::Unknown) {
         result.resolved = false;
         return result;
@@ -159,7 +161,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
 }
 
 Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit, std::size_t num_patterns,
-              bool depth_aware) {
+              bool depth_aware, WorkCost* cost) {
     const SimPatterns patterns =
         aig.num_pis() <= SimPatterns::kMaxExhaustivePis
             ? SimPatterns::exhaustive(aig.num_pis())
@@ -316,6 +318,7 @@ Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit, std::size_t
         const AigLit po = aig.po(i);
         out.add_po(po.complemented() ? !remap[po.node()] : remap[po.node()], aig.po_name(i));
     }
+    if (cost) cost->sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
     return out.cleanup();
 }
 

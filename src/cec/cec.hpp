@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "common/budget.hpp"
 #include "common/rng.hpp"
 #include "sat/solver.hpp"
 
@@ -35,8 +36,11 @@ struct CecResult {
 /// SAT-based combinational equivalence check of two AIGs with identical
 /// PI/PO interfaces (the paper's post-optimization verification step).
 /// A bit-parallel random-simulation pre-pass catches most inequivalences
-/// without touching the solver.
-CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit = -1);
+/// without touching the solver. When `cost` is given, the SAT conflicts
+/// spent by the internal sweep and the final miter are accumulated into it
+/// (deterministic work metering for budgeted runs, common/budget.hpp).
+CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit = -1,
+                            WorkCost* cost = nullptr);
 
 /// SAT sweeping (fraiging): merges functionally equivalent internal nodes,
 /// up to complement. Candidates are proposed by random-simulation
@@ -50,6 +54,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
 /// the CEC path disables this so structurally different implementations can
 /// collapse onto each other.
 Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit = 2000,
-              std::size_t num_patterns = 1024, bool depth_aware = true);
+              std::size_t num_patterns = 1024, bool depth_aware = true,
+              WorkCost* cost = nullptr);
 
 }  // namespace lls

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lls {
+
+/// Strict integer option parsing: the whole token must be a base-10 number
+/// within [min_value, max_value]. Anything else — empty string, trailing
+/// garbage ("12x"), non-numbers ("xyz", which std::atoi silently turns
+/// into 0), or out-of-range values — prints an error naming `flag` to
+/// stderr and returns false without touching `*out`.
+inline bool parse_int_option(const char* flag, const char* text, long min_value, long max_value,
+                             int* out) {
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || value < min_value || value > max_value) {
+        std::fprintf(stderr, "error: %s expects an integer in [%ld, %ld], got '%s'\n", flag,
+                     min_value, max_value, text);
+        return false;
+    }
+    *out = static_cast<int>(value);
+    return true;
+}
+
+/// Strict unsigned-64-bit variant (seeds, work budgets). Rejects negative
+/// numbers, non-numbers, trailing garbage, and values above `max_value`.
+inline bool parse_u64_option(const char* flag, const char* text, std::uint64_t max_value,
+                             std::uint64_t* out) {
+    char* end = nullptr;
+    errno = 0;
+    if (text[0] == '-') {
+        std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n", flag, text);
+        return false;
+    }
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0' || value > max_value) {
+        std::fprintf(stderr, "error: %s expects an integer in [0, %llu], got '%s'\n", flag,
+                     static_cast<unsigned long long>(max_value), text);
+        return false;
+    }
+    *out = static_cast<std::uint64_t>(value);
+    return true;
+}
+
+}  // namespace lls

@@ -6,9 +6,12 @@
 #include <unordered_map>
 #include <utility>
 
+#include <atomic>
+
 #include "aig/aig_build.hpp"
 #include "baseline/restructure.hpp"
 #include "cec/cec.hpp"
+#include "common/budget.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/metrics.hpp"
@@ -51,11 +54,20 @@ std::uint64_t params_fingerprint(const LookaheadParams& p) {
     return h;
 }
 
+/// The memoized result of evaluating one cone: the outcome (nullptr
+/// recording "no improvement found" — negative results are just as
+/// expensive to recompute) plus the deterministic work it cost. Storing
+/// the cost is what keeps budgeted runs independent of cache state: a memo
+/// hit charges exactly the units the avoided recomputation would have.
+struct ConeEvaluation {
+    std::shared_ptr<const DecomposeOutcome> outcome;
+    WorkCost cost;
+};
+
 /// Decomposition memo: (cone structural hash, params fingerprint) -> the
-/// outcome, nullptr recording "no improvement found" (negative results are
-/// just as expensive to recompute). Shared across runs in the process.
-using DecomposeMemo = ShardedCache<std::pair<std::uint64_t, std::uint64_t>,
-                                   std::shared_ptr<const DecomposeOutcome>, U64PairHash>;
+/// evaluation. Shared across runs in the process.
+using DecomposeMemo =
+    ShardedCache<std::pair<std::uint64_t, std::uint64_t>, ConeEvaluation, U64PairHash>;
 
 DecomposeMemo& decompose_memo() {
     static DecomposeMemo instance("decompose_memo", /*max_entries_per_shard=*/2048);
@@ -64,10 +76,13 @@ DecomposeMemo& decompose_memo() {
 
 /// Equivalence check with the structural-hash verdict memo in front. Only
 /// resolved verdicts are stored; a memo hit returns no counterexample
-/// (engine callers only branch on resolved/equivalent).
+/// (engine callers only branch on resolved/equivalent). `cost` meters the
+/// SAT work actually performed — a memo hit honestly reports zero, which
+/// is why serial-stage CEC work feeds --metrics but is never charged
+/// against the deterministic budget (docs/ENGINE.md, "Budget semantics").
 CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t conflict_limit,
-                                 bool use_cache) {
-    if (!use_cache) return check_equivalence(a, b, conflict_limit);
+                                 bool use_cache, WorkCost* cost = nullptr) {
+    if (!use_cache) return check_equivalence(a, b, conflict_limit, cost);
     const auto [lo, hi] = std::minmax(a.hash(), b.hash());
     const std::pair<std::uint64_t, std::uint64_t> key{lo, hi};
     if (const auto verdict = cec_memo().get(key)) {
@@ -76,7 +91,7 @@ CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t confli
         r.resolved = true;
         return r;
     }
-    CecResult r = check_equivalence(a, b, conflict_limit);
+    CecResult r = check_equivalence(a, b, conflict_limit, cost);
     if (r.resolved) cec_memo().put(key, r.equivalent);
     return r;
 }
@@ -95,6 +110,16 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     MetricTimer& sweep_timer = metrics.timer("engine.sat_sweep");
     MetricTimer& cec_timer = metrics.timer("engine.cec");
     MetricTimer& total_timer = metrics.timer("engine.total");
+    // Work-unit meters: `work.evaluate.*` is what the deterministic budget
+    // charges (memo hits replay the stored cost, so the charge stream is
+    // cache-invariant); the serial-stage meters report work actually
+    // performed and are observability-only.
+    MetricCounter& work_decompositions = metrics.counter("engine.work.evaluate.decompositions");
+    MetricCounter& work_eval_conflicts = metrics.counter("engine.work.evaluate.sat_conflicts");
+    MetricCounter& work_sweep_conflicts = metrics.counter("engine.work.sat_sweep.sat_conflicts");
+    MetricCounter& work_cec_conflicts = metrics.counter("engine.work.cec.sat_conflicts");
+    MetricCounter& budget_stops = metrics.counter("engine.budget_exhausted");
+    MetricCounter& wall_clock_stops = metrics.counter("engine.wall_clock_interrupts");
     const ScopedTimer total_scope(total_timer);
     metrics.counter("engine.runs").add();
 
@@ -110,10 +135,24 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     // and therefore the job count — cannot influence any outcome.
     Rng rng(params.seed);
     const Aig original = input.cleanup();
-    Stopwatch budget_clock;
-    auto out_of_budget = [&]() {
-        return params.time_budget_seconds > 0.0 &&
-               budget_clock.elapsed_seconds() > params.time_budget_seconds;
+
+    // Deterministic work budget: charged only at serial points with the
+    // per-cone costs of each round's evaluations, so `budget.exhausted()`
+    // is a pure function of work performed — identical on every thread
+    // schedule. The wall-clock rail stays as a nondeterministic emergency
+    // stop; once it fires the in-flight round is discarded (partially
+    // evaluated rounds are never committed) and the run is flagged.
+    WorkBudget budget(params.work_budget);
+    Stopwatch wall_clock;
+    std::atomic<bool> wall_clock_fired{false};
+    auto wall_clock_expired = [&]() {
+        if (wall_clock_fired.load(std::memory_order_relaxed)) return true;
+        if (params.time_budget_seconds > 0.0 &&
+            wall_clock.elapsed_seconds() > params.time_budget_seconds) {
+            wall_clock_fired.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
     };
 
     OptimizeStats local;
@@ -136,17 +175,18 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     // and the returned circuit is always verified against the input).
     constexpr std::size_t kPerIterationCheckLimit = 1500;
 
-    // Evaluation of one candidate: pure function of (current, po, params).
-    auto evaluate_cone = [&](const Aig& current,
-                             std::size_t po) -> std::shared_ptr<const DecomposeOutcome> {
+    // Evaluation of one candidate: pure function of (current, po, params) —
+    // including its work cost, which the memo stores alongside the outcome.
+    auto evaluate_cone = [&](const Aig& current, std::size_t po) -> ConeEvaluation {
         const Aig cone = extract_cone(current, po);
         const std::uint64_t cone_hash = cone.hash();
-        auto compute = [&]() -> std::shared_ptr<const DecomposeOutcome> {
+        auto compute = [&]() -> ConeEvaluation {
             cones_evaluated.add();
             Rng cone_rng(hash_mix(fingerprint, cone_hash));
-            if (auto outcome = decompose_output(cone, params, cone_rng))
-                return std::make_shared<const DecomposeOutcome>(std::move(*outcome));
-            return nullptr;
+            ConeEvaluation evaluation;
+            if (auto outcome = decompose_output(cone, params, cone_rng, &evaluation.cost))
+                evaluation.outcome = std::make_shared<const DecomposeOutcome>(std::move(*outcome));
+            return evaluation;
         };
         if (!engine.use_result_cache) return compute();
         return decompose_memo().get_or_compute({cone_hash, fingerprint}, compute);
@@ -156,7 +196,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         int plateau = 0;
         constexpr int kMaxPlateau = 2;
         bool touched = false;
-        for (int iter = 0; iter < params.max_iterations && !out_of_budget(); ++iter) {
+        for (int iter = 0; iter < params.max_iterations && !budget.exhausted(); ++iter) {
+            if (wall_clock_expired()) break;
             const int depth = current.depth();
             if (depth < 2) break;
             const auto levels = current.compute_levels();
@@ -179,14 +220,31 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
 
             // Fan the candidate evaluations across the workers. Workers
             // only read `current` (cone extraction copies what they need)
-            // and build private cones, simulators, and SAT solvers.
-            std::vector<std::shared_ptr<const DecomposeOutcome>> outcomes(tasks.size());
+            // and build private cones, simulators, and SAT solvers. The
+            // work budget is never consulted here — every admitted task
+            // runs to completion, so the set of evaluated cones cannot
+            // depend on the schedule. Only the wall-clock rail may abandon
+            // a round, and then the whole round is discarded below.
+            std::vector<ConeEvaluation> evaluations(tasks.size());
             {
                 const ScopedTimer evaluate_scope(evaluate_timer);
                 pool.parallel_for(0, tasks.size(), [&](std::size_t i) {
-                    if (out_of_budget()) return;
-                    outcomes[i] = evaluate_cone(current, tasks[i].po);
+                    if (wall_clock_expired()) return;
+                    evaluations[i] = evaluate_cone(current, tasks[i].po);
                 });
+            }
+            if (wall_clock_fired.load(std::memory_order_relaxed)) break;
+
+            // Charge this round's deterministic cost, in task order, at a
+            // serial point. The round is fully evaluated by now and will be
+            // fully committed; exhaustion takes effect before the *next*
+            // round starts.
+            {
+                WorkCost round_cost;
+                for (const auto& evaluation : evaluations) round_cost += evaluation.cost;
+                budget.charge(round_cost);
+                work_decompositions.add(round_cost.decompositions);
+                work_eval_conflicts.add(round_cost.sat_conflicts);
             }
 
             // Serial commit in PO order: rebuild the circuit output by
@@ -212,9 +270,9 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     const auto it = levels[driver.node()] == depth
                                         ? driver_task.find(driver.node())
                                         : driver_task.end();
-                    if (it != driver_task.end() && outcomes[it->second]) {
+                    if (it != driver_task.end() && evaluations[it->second].outcome) {
                         const std::size_t t = it->second;
-                        const DecomposeOutcome& outcome = *outcomes[t];
+                        const DecomposeOutcome& outcome = *evaluations[t].outcome;
                         if (!task_appended[t]) {
                             const auto new_outs = append_aig(next, outcome.aig, pi_map);
                             const bool first_complemented =
@@ -248,7 +306,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             const bool small = candidate.count_reachable_ands() <= kPerIterationCheckLimit;
             if (params.area_recovery && small) {
                 const ScopedTimer sweep_scope(sweep_timer);
-                candidate = sat_sweep(candidate, rng);
+                WorkCost sweep_cost;
+                candidate = sat_sweep(candidate, rng, /*conflict_limit=*/2000,
+                                      /*num_patterns=*/1024, /*depth_aware=*/true, &sweep_cost);
+                work_sweep_conflicts.add(sweep_cost.sat_conflicts);
             }
 
             const int candidate_depth = candidate.depth();
@@ -262,8 +323,11 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
 
             if (params.verify_each_iteration && small) {
                 const ScopedTimer cec_scope(cec_timer);
-                const CecResult cec = check_equivalence_memo(
-                    candidate, current, /*conflict_limit=*/1000000, engine.use_result_cache);
+                WorkCost cec_cost;
+                const CecResult cec =
+                    check_equivalence_memo(candidate, current, /*conflict_limit=*/1000000,
+                                           engine.use_result_cache, &cec_cost);
+                work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
                     // A failed or unresolved check means this round cannot
                     // be trusted; keep the last verified circuit.
@@ -284,13 +348,19 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         if (touched && best.count_reachable_ands() > kPerIterationCheckLimit) {
             if (params.area_recovery) {
                 const ScopedTimer sweep_scope(sweep_timer);
-                Aig swept = sat_sweep(best, rng);
+                WorkCost sweep_cost;
+                Aig swept = sat_sweep(best, rng, /*conflict_limit=*/2000, /*num_patterns=*/1024,
+                                      /*depth_aware=*/true, &sweep_cost);
+                work_sweep_conflicts.add(sweep_cost.sat_conflicts);
                 if (!better(best, swept)) best = std::move(swept);
             }
             if (params.verify_each_iteration) {
                 const ScopedTimer cec_scope(cec_timer);
-                const CecResult cec = check_equivalence_memo(
-                    best, original, /*conflict_limit=*/4000000, engine.use_result_cache);
+                WorkCost cec_cost;
+                const CecResult cec =
+                    check_equivalence_memo(best, original, /*conflict_limit=*/4000000,
+                                           engine.use_result_cache, &cec_cost);
+                work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
                     local.verified = local.verified && cec.resolved;
                     best = original;  // cannot trust anything from this pass
@@ -317,16 +387,21 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             }
             if (params.area_recovery) {
                 const ScopedTimer sweep_scope(sweep_timer);
-                restructured = sat_sweep(restructured, rng);
+                WorkCost sweep_cost;
+                restructured = sat_sweep(restructured, rng, /*conflict_limit=*/2000,
+                                         /*num_patterns=*/1024, /*depth_aware=*/true, &sweep_cost);
+                work_sweep_conflicts.add(sweep_cost.sat_conflicts);
             }
             if (restructured.depth() >= preopt.depth()) break;
             preopt = std::move(restructured);
         }
         if (params.verify_each_iteration) {
             const ScopedTimer cec_scope(cec_timer);
-            const CecResult cec = check_equivalence_memo(preopt, original,
-                                                         /*conflict_limit=*/1000000,
-                                                         engine.use_result_cache);
+            WorkCost cec_cost;
+            const CecResult cec =
+                check_equivalence_memo(preopt, original, /*conflict_limit=*/1000000,
+                                       engine.use_result_cache, &cec_cost);
+            work_cec_conflicts.add(cec_cost.sat_conflicts);
             if (!cec.resolved || !cec.equivalent) {
                 local.verified = local.verified && cec.resolved;
                 preopt = original;
@@ -338,6 +413,11 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
 
     local.final_depth = best.depth();
     local.final_ands = best.count_reachable_ands();
+    local.work_units = budget.spent();
+    local.budget_exhausted = budget.exhausted();
+    local.wall_clock_interrupted = wall_clock_fired.load(std::memory_order_relaxed);
+    if (local.budget_exhausted) budget_stops.add();
+    if (local.wall_clock_interrupted) wall_clock_stops.add();
     rounds_run.add(static_cast<std::uint64_t>(local.iterations));
     cones_improved.add(static_cast<std::uint64_t>(local.outputs_decomposed));
     if (stats) *stats = local;

@@ -11,9 +11,12 @@
 namespace lls {
 
 /// Execution knobs of the concurrent optimization engine. These control
-/// *how* the flow runs, never *what* it computes: with
-/// `params.time_budget_seconds == 0` the result is bit-identical for every
-/// `jobs` value (see docs/ENGINE.md, "Determinism contract").
+/// *how* the flow runs, never *what* it computes: the result is
+/// bit-identical for every `jobs` value, including runs bounded by the
+/// deterministic `params.work_budget`. The only escape hatch is the
+/// wall-clock safety rail `params.time_budget_seconds`, which is reported
+/// as nondeterministic when it fires (see docs/ENGINE.md, "Determinism
+/// contract" and "Budget semantics").
 struct EngineOptions {
     /// Worker threads used to evaluate per-cone decomposition candidates
     /// (and, in batch mode, to run whole circuits). 1 = serial.

@@ -204,6 +204,10 @@ void write_blif_file(const std::string& path, const Aig& aig, const std::string&
     std::ofstream out(path);
     if (!out) throw std::runtime_error("cannot open " + path);
     write_blif(out, aig, model_name);
+    // A full disk (or any other stream error) must not leave a silently
+    // truncated netlist behind: flush and check before declaring success.
+    out.flush();
+    if (!out) throw std::runtime_error("error writing " + path + " (truncated output)");
 }
 
 void write_aiger(std::ostream& out, const Aig& aig) {
@@ -227,6 +231,8 @@ void write_aiger_file(const std::string& path, const Aig& aig) {
     std::ofstream out(path);
     if (!out) throw std::runtime_error("cannot open " + path);
     write_aiger(out, aig);
+    out.flush();
+    if (!out) throw std::runtime_error("error writing " + path + " (truncated output)");
 }
 
 namespace {
@@ -351,6 +357,8 @@ void write_aiger_binary_file(const std::string& path, const Aig& aig) {
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("cannot open " + path);
     write_aiger_binary(out, aig);
+    out.flush();
+    if (!out) throw std::runtime_error("error writing " + path + " (truncated output)");
 }
 
 Aig read_aiger(std::istream& in) {

@@ -36,10 +36,11 @@ bool signature_implies(const Signature& a, const Signature& b) {
     return true;
 }
 
-}  // namespace
-
-std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
-                                                 Rng& rng) {
+/// The decomposition body; `cost` collects work units on every exit path
+/// (the public wrapper merges them into the caller's accumulator).
+std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
+                                                      const LookaheadParams& params, Rng& rng,
+                                                      WorkCost& cost) {
     LLS_REQUIRE(cone.num_pos() == 1);
     const int old_depth = cone.depth();
     if (old_depth < 2) return std::nullopt;
@@ -81,7 +82,7 @@ std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const Lookahea
     extend_sigs_for_copies(primary_map, size_before_primary);
 
     const ReduceResult reduced =
-        reduce_cone(net, y0_root, sigs, patterns.num_patterns(), spcf_sig);
+        reduce_cone(net, y0_root, sigs, patterns.num_patterns(), spcf_sig, &cost);
     if (!reduced.improved || reduced.windows.empty()) return std::nullopt;
 
     // Window nodes: one agreement node per marked node, conjoined by a
@@ -175,6 +176,7 @@ std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const Lookahea
             const TruthTable new_f = minimum_sop(f & ~dc, dc).to_truth_table();
             if (!(new_f == f)) net.set_function(node, new_f);
         }
+        cost.sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
     }
 
     // --- 5. reconstruction with implication rules ---------------------------
@@ -241,6 +243,7 @@ std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const Lookahea
         if (implies(!s, b)) candidates.push_back({full.lor(!s, a), "!S => y1"});
         if (implies(!s, !b)) candidates.push_back({full.land(s, a), "!S => !y1"});
     }
+    cost.sat_conflicts += static_cast<std::uint64_t>(impl_solver.num_conflicts());
 
     const auto levels = full.compute_levels();
     std::size_t best = 0;
@@ -262,7 +265,7 @@ std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const Lookahea
                 old_depth, new_depth, candidates[best].rule.c_str(), levels[s.node()],
                 levels[a.node()], levels[b.node()]);
     if (new_depth > old_depth) return std::nullopt;
-    const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000);
+    const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000, &cost);
     if (!cec.resolved || !cec.equivalent) return std::nullopt;
 
     DecomposeOutcome outcome;
@@ -272,6 +275,17 @@ std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const Lookahea
     outcome.num_windows = static_cast<int>(reduced.windows.size());
     outcome.reconstruction = candidates[best].rule;
     return outcome;
+}
+
+}  // namespace
+
+std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
+                                                 Rng& rng, WorkCost* cost) {
+    WorkCost local;
+    local.decompositions = 1;  // the attempt itself, even when it bails early
+    auto result = decompose_output_impl(cone, params, rng, local);
+    if (cost) *cost += local;
+    return result;
 }
 
 }  // namespace lls

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "aig/aig.hpp"
+#include "common/budget.hpp"
 #include "common/rng.hpp"
 #include "lookahead/params.hpp"
 
@@ -33,7 +34,14 @@ struct DecomposeOutcome {
 ///  6. verification (CEC) of the result against the input cone.
 ///
 /// Returns nullopt when no depth improvement is found.
+///
+/// When `cost` is given, the deterministic work spent on this cone is
+/// accumulated into it: one decomposition attempt for the cone itself, one
+/// per node-simplification attempt inside `reduce_cone`, and every SAT
+/// conflict of the don't-care, implication, and verification queries. The
+/// total is a pure function of (cone, params, rng seed) — the engine's
+/// budgeted-determinism guarantee rests on this (common/budget.hpp).
 std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
-                                                 Rng& rng);
+                                                 Rng& rng, WorkCost* cost = nullptr);
 
 }  // namespace lls

@@ -17,6 +17,17 @@ struct OptimizeStats {
     int iterations = 0;            ///< accepted decomposition levels
     int outputs_decomposed = 0;    ///< per-output decompositions accepted (total)
     bool verified = true;          ///< every accepted step passed CEC
+    /// Work units charged against `params.work_budget` (decomposition
+    /// attempts + SAT conflicts of the cone evaluations); deterministic for
+    /// a given (input, params), whatever the job count or cache state.
+    std::uint64_t work_units = 0;
+    /// The deterministic work budget stopped the run before the iteration
+    /// limit. The result is still bit-identical across `--jobs` values.
+    bool budget_exhausted = false;
+    /// The wall-clock safety rail (`time_budget_seconds`) fired: the
+    /// in-flight round was discarded and the result is timing-dependent —
+    /// reruns may differ. Never set on purely work-budgeted runs.
+    bool wall_clock_interrupted = false;
     std::vector<std::string> log;  ///< human-readable per-iteration notes
 };
 

@@ -52,9 +52,21 @@ struct LookaheadParams {
     /// Verify every accepted iteration against the previous circuit by CEC.
     bool verify_each_iteration = true;
 
-    /// Wall-clock budget in seconds for the whole optimization (0 = none).
-    /// When exceeded, no further decompositions are attempted; the best
-    /// verified circuit found so far is returned.
+    /// Deterministic work budget for the whole optimization (0 = none),
+    /// counted in work units (common/budget.hpp): decomposition attempts
+    /// plus SAT conflicts. Exhaustion is a pure function of work performed
+    /// — not of wall time — so budgeted runs stay bit-identical across
+    /// `--jobs` values, machines, and cache states. Once the accumulated
+    /// charge reaches the budget, no further decomposition rounds start;
+    /// the best verified circuit found so far is returned.
+    std::uint64_t work_budget = 0;
+
+    /// Wall-clock *safety rail* in seconds (0 = none). Unlike
+    /// `work_budget` this is inherently nondeterministic: when it fires,
+    /// the in-flight round is discarded, the run stops, and the result is
+    /// flagged as timing-dependent (`OptimizeStats::wall_clock_interrupted`,
+    /// `engine.wall_clock_interrupts` in --metrics). Use `work_budget` for
+    /// reproducible budgeted runs; keep this only as a hard upper bound.
     double time_budget_seconds = 0.0;
 };
 

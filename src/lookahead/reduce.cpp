@@ -7,7 +7,7 @@
 namespace lls {
 
 ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature>& sigs,
-                         std::size_t num_patterns, const Signature& spcf) {
+                         std::size_t num_patterns, const Signature& spcf, WorkCost* cost) {
     ReduceResult result;
     std::vector<int> levels = net.compute_sop_levels();
     const int l_t = levels[root];
@@ -42,7 +42,8 @@ ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature
         while (c != 0 && levels[root] >= l_t) {
             visited[c] = 1;
             if (!marked[c]) {
-                if (auto outcome = simplify_node(net, c, levels, sigs, spcf, window_budget)) {
+                if (auto outcome =
+                        simplify_node(net, c, levels, sigs, spcf, window_budget, cost)) {
                     net.set_function(c, outcome->new_tt);
                     result.windows.emplace_back(c, outcome->window_tt);
                     marked[c] = 1;

@@ -43,7 +43,9 @@ struct WeightedCube {
 std::optional<SimplifyOutcome> simplify_node(const Network& net, std::uint32_t node,
                                              const std::vector<int>& levels,
                                              const std::vector<Signature>& sigs,
-                                             const Signature& spcf, int window_budget) {
+                                             const Signature& spcf, int window_budget,
+                                             WorkCost* cost) {
+    if (cost) ++cost->decompositions;
     if (!net.is_internal(node)) return std::nullopt;
     const TruthTable& old_tt = net.function(node);
     const int k = old_tt.num_vars();

@@ -107,6 +107,93 @@ TEST(Engine, BatchMatchesIndividualRuns) {
     }
 }
 
+/// Full byte-level fingerprint of a budgeted run: the serialized output AIG
+/// plus the budget bookkeeping. "Bit-identical across --jobs" means exactly
+/// this string being equal, not just depth/AND counts.
+struct BudgetedResult {
+    std::string aiger;
+    std::uint64_t work_units;
+    bool budget_exhausted;
+};
+
+BudgetedResult run_budgeted(const Aig& input, std::uint64_t work_budget, int jobs) {
+    LookaheadParams params;
+    params.max_iterations = 6;
+    params.work_budget = work_budget;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(input, params, engine, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_FALSE(stats.wall_clock_interrupted);
+    EXPECT_TRUE(check_equivalence(input, out, 2000000).equivalent);
+    std::stringstream aag;
+    write_aiger(aag, out);
+    return {aag.str(), stats.work_units, stats.budget_exhausted};
+}
+
+TEST(Engine, BudgetedRunsAreJobsInvariant) {
+    // Budgets chosen to exercise the interesting regimes: 1 (exhausted after
+    // the very first round), a mid value (exhausted partway through the run),
+    // and a huge value (never binds). Every jobs count must agree byte for
+    // byte on the output AND on the work spent.
+    const Aig rca = ripple_carry_adder(8);
+    for (const std::uint64_t budget : {std::uint64_t{1}, std::uint64_t{100},
+                                       std::uint64_t{1} << 62}) {
+        const BudgetedResult serial = run_budgeted(rca, budget, 1);
+        for (const int jobs : {2, 4}) {
+            const BudgetedResult parallel = run_budgeted(rca, budget, jobs);
+            EXPECT_EQ(serial.aiger, parallel.aiger) << "budget=" << budget << " jobs=" << jobs;
+            EXPECT_EQ(serial.work_units, parallel.work_units)
+                << "budget=" << budget << " jobs=" << jobs;
+            EXPECT_EQ(serial.budget_exhausted, parallel.budget_exhausted)
+                << "budget=" << budget << " jobs=" << jobs;
+        }
+    }
+}
+
+TEST(Engine, BudgetedRunsAreCacheStateInvariant) {
+    // The memo must not alter a budgeted trajectory: a run that hits cached
+    // cone evaluations has to charge exactly what a cold run would.
+    const Aig circuit = ripple_carry_adder(7);
+    clear_engine_caches();
+    const BudgetedResult cold = run_budgeted(circuit, 60, 2);
+    const BudgetedResult warm = run_budgeted(circuit, 60, 2);
+    EXPECT_EQ(cold.aiger, warm.aiger);
+    EXPECT_EQ(cold.work_units, warm.work_units);
+    EXPECT_EQ(cold.budget_exhausted, warm.budget_exhausted);
+}
+
+TEST(Engine, BudgetSemantics) {
+    const Aig rca = ripple_carry_adder(8);
+
+    // budget=1 still commits one full round: rounds are atomic, exhaustion
+    // gates the NEXT round. The run must report exhaustion and still improve
+    // (or at least not worsen) the circuit.
+    const BudgetedResult tiny = run_budgeted(rca, 1, 2);
+    EXPECT_TRUE(tiny.budget_exhausted);
+    EXPECT_GE(tiny.work_units, 1u);
+
+    // A budget the run cannot spend is reported as not exhausted, and the
+    // result matches the unbudgeted engine exactly.
+    const BudgetedResult huge = run_budgeted(rca, std::uint64_t{1} << 62, 2);
+    EXPECT_FALSE(huge.budget_exhausted);
+    LookaheadParams params;
+    params.max_iterations = 6;
+    EngineOptions engine;
+    engine.jobs = 2;
+    const Aig unbudgeted = optimize_timing_engine(rca, params, engine);
+    std::stringstream aag;
+    write_aiger(aag, unbudgeted);
+    EXPECT_EQ(huge.aiger, aag.str());
+
+    // A binding mid-size budget spends no more than allowed... plus at most
+    // the final round's overshoot, and strictly less than the huge run.
+    const BudgetedResult mid = run_budgeted(rca, 100, 2);
+    EXPECT_TRUE(mid.budget_exhausted);
+    EXPECT_LT(mid.work_units, huge.work_units);
+}
+
 TEST(Engine, MetricsRecordRuns) {
     Metrics& metrics = Metrics::global();
     const std::uint64_t runs_before = metrics.counter("engine.runs").value();

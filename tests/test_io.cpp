@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cec/cec.hpp"
@@ -207,6 +209,32 @@ TEST(Aiger, HeaderAndCounts) {
     EXPECT_EQ(o, rca.num_pos());
     EXPECT_EQ(a, rca.num_ands());
     EXPECT_EQ(m, rca.num_nodes() - 1);
+}
+
+TEST(FileWriters, ThrowOnUnwritableTarget) {
+    // A stream error after open must surface as an exception, never as a
+    // silently truncated file that parses back as a smaller circuit.
+    const Aig rca = ripple_carry_adder(8);
+    // Writing to a directory path fails at open; the "cannot open" branch.
+    EXPECT_THROW(write_blif_file("/tmp", rca, "t"), std::runtime_error);
+    EXPECT_THROW(write_aiger_file("/tmp", rca), std::runtime_error);
+    EXPECT_THROW(write_aiger_binary_file("/tmp", rca), std::runtime_error);
+    // /dev/full opens fine but every flush fails with ENOSPC; the
+    // truncated-output branch. Only present on Linux — skip elsewhere.
+    std::ifstream dev_full("/dev/full");
+    if (!dev_full.good()) GTEST_SKIP() << "/dev/full not available";
+    EXPECT_THROW(write_blif_file("/dev/full", rca, "t"), std::runtime_error);
+    EXPECT_THROW(write_aiger_file("/dev/full", rca), std::runtime_error);
+    EXPECT_THROW(write_aiger_binary_file("/dev/full", rca), std::runtime_error);
+}
+
+TEST(FileWriters, SuccessfulWriteRoundTrips) {
+    const Aig rca = ripple_carry_adder(6);
+    const std::string path = ::testing::TempDir() + "lls_test_io_rt.blif";
+    write_blif_file(path, rca, "rt");
+    const Aig back = read_blif_file(path);
+    EXPECT_TRUE(check_equivalence(rca, back).equivalent);
+    std::remove(path.c_str());
 }
 
 }  // namespace

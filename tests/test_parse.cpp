@@ -1,0 +1,63 @@
+#include "common/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace lls {
+namespace {
+
+TEST(ParseInt, AcceptsWholeTokenInRange) {
+    int out = -1;
+    EXPECT_TRUE(parse_int_option("--n", "0", 0, 100, &out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(parse_int_option("--n", "42", 0, 100, &out));
+    EXPECT_EQ(out, 42);
+    EXPECT_TRUE(parse_int_option("--n", "100", 0, 100, &out));
+    EXPECT_EQ(out, 100);
+    EXPECT_TRUE(parse_int_option("--n", "-7", -10, 10, &out));
+    EXPECT_EQ(out, -7);
+}
+
+TEST(ParseInt, RejectsGarbageWithoutTouchingOutput) {
+    // std::atoi would have turned each of these into a silently wrong value.
+    int out = 1234;
+    EXPECT_FALSE(parse_int_option("--n", "xyz", 0, 100, &out));
+    EXPECT_FALSE(parse_int_option("--n", "", 0, 100, &out));
+    EXPECT_FALSE(parse_int_option("--n", "12x", 0, 100, &out));
+    EXPECT_FALSE(parse_int_option("--n", "1 2", 0, 100, &out));
+    EXPECT_FALSE(parse_int_option("--n", "0x10", 0, 100, &out));
+    EXPECT_EQ(out, 1234);
+}
+
+TEST(ParseInt, RejectsOutOfRange) {
+    int out = 1234;
+    EXPECT_FALSE(parse_int_option("--n", "101", 0, 100, &out));
+    EXPECT_FALSE(parse_int_option("--n", "-1", 0, 100, &out));
+    EXPECT_FALSE(parse_int_option("--n", "99999999999999999999", 0, 100, &out));
+    EXPECT_EQ(out, 1234);
+}
+
+TEST(ParseU64, AcceptsFullRange) {
+    std::uint64_t out = 0;
+    EXPECT_TRUE(parse_u64_option("--b", "0", UINT64_MAX, &out));
+    EXPECT_EQ(out, 0u);
+    EXPECT_TRUE(parse_u64_option("--b", "18446744073709551615", UINT64_MAX, &out));
+    EXPECT_EQ(out, UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsNegativeGarbageAndOverflow) {
+    std::uint64_t out = 77;
+    // strtoull would silently wrap "-1" to UINT64_MAX; the wrapper must not.
+    EXPECT_FALSE(parse_u64_option("--b", "-1", UINT64_MAX, &out));
+    EXPECT_FALSE(parse_u64_option("--b", "xyz", UINT64_MAX, &out));
+    EXPECT_FALSE(parse_u64_option("--b", "", UINT64_MAX, &out));
+    EXPECT_FALSE(parse_u64_option("--b", "5five", UINT64_MAX, &out));
+    EXPECT_FALSE(parse_u64_option("--b", "18446744073709551616", UINT64_MAX, &out));
+    EXPECT_FALSE(parse_u64_option("--b", "11", 10, &out));
+    EXPECT_EQ(out, 77u);
+}
+
+}  // namespace
+}  // namespace lls

@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/parse.hpp"
+
 #include "baseline/flows.hpp"
 #include "baseline/select_transform.hpp"
 #include "cec/cec.hpp"
@@ -63,9 +65,18 @@ bool verify(const char* what, std::uint64_t seed, const lls::Aig& a, const lls::
 }  // namespace
 
 int main(int argc, char** argv) {
-    const int iterations = argc > 1 ? std::atoi(argv[1]) : 25;
-    const std::uint64_t base_seed =
-        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1000;
+    // Strict parsing: "lls_fuzz xyz" must be a usage error, not a 0-iteration
+    // run that "passes".
+    int iterations = 25;
+    std::uint64_t base_seed = 1000;
+    if (argc > 1 && !lls::parse_int_option("iterations", argv[1], 1, 1000000000, &iterations)) {
+        std::fprintf(stderr, "usage: %s [iterations] [base_seed]\n", argv[0]);
+        return 2;
+    }
+    if (argc > 2 && !lls::parse_u64_option("base_seed", argv[2], UINT64_MAX, &base_seed)) {
+        std::fprintf(stderr, "usage: %s [iterations] [base_seed]\n", argv[0]);
+        return 2;
+    }
 
     for (int i = 0; i < iterations; ++i) {
         const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);

@@ -7,6 +7,8 @@
 //   --flow sis|abc|dc|lookahead   optimization flow (default: lookahead)
 //   --iterations N                lookahead decomposition rounds (default 10)
 //   --jobs N                      worker threads (cone fan-out; batch circuits)
+//   --work-budget N               deterministic work budget in units (0 = none);
+//                                 budgeted runs are bit-identical across --jobs
 //   --batch                       optimize every input concurrently (--jobs)
 //   --out-dir DIR                 batch mode: write DIR/<input> per circuit
 //   --no-verify                   skip the final equivalence check
@@ -27,6 +29,7 @@
 
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
+#include "common/parse.hpp"
 #include "common/stopwatch.hpp"
 #include "engine/engine.hpp"
 #include "engine/metrics.hpp"
@@ -42,27 +45,11 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N]\n"
-                 "          [--no-verify] [--map] [--aiger PATH] [--verilog PATH] [--stats]\n"
-                 "          [--metrics] <input.blif> [output.blif]\n"
+                 "          [--work-budget N] [--no-verify] [--map] [--aiger PATH]\n"
+                 "          [--verilog PATH] [--stats] [--metrics] <input.blif> [output.blif]\n"
                  "       %s --batch [options] [--out-dir DIR] <input.blif> [input2.blif ...]\n",
                  argv0, argv0);
     return 2;
-}
-
-/// Strict integer option parsing: the whole token must be a number within
-/// [min_value, max_value]. (std::atoi would silently turn garbage into 0.)
-bool parse_int_option(const char* flag, const char* text, long min_value, long max_value,
-                      int* out) {
-    char* end = nullptr;
-    errno = 0;
-    const long value = std::strtol(text, &end, 10);
-    if (errno != 0 || end == text || *end != '\0' || value < min_value || value > max_value) {
-        std::fprintf(stderr, "error: %s expects an integer in [%ld, %ld], got '%s'\n", flag,
-                     min_value, max_value, text);
-        return false;
-    }
-    *out = static_cast<int>(value);
-    return true;
 }
 
 std::string basename_of(const std::string& path) {
@@ -78,6 +65,7 @@ int main(int argc, char** argv) {
     std::string output_path, aiger_path, verilog_path, out_dir;
     int iterations = 10;
     int jobs = 1;
+    std::uint64_t work_budget = 0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
     bool batch = false;
 
@@ -86,10 +74,13 @@ int main(int argc, char** argv) {
         if (arg == "--flow" && i + 1 < argc) {
             flow = argv[++i];
         } else if (arg == "--iterations" && i + 1 < argc) {
-            if (!parse_int_option("--iterations", argv[++i], 0, 1000000, &iterations))
+            if (!lls::parse_int_option("--iterations", argv[++i], 0, 1000000, &iterations))
                 return usage(argv[0]);
         } else if (arg == "--jobs" && i + 1 < argc) {
-            if (!parse_int_option("--jobs", argv[++i], 1, 1024, &jobs)) return usage(argv[0]);
+            if (!lls::parse_int_option("--jobs", argv[++i], 1, 1024, &jobs)) return usage(argv[0]);
+        } else if (arg == "--work-budget" && i + 1 < argc) {
+            if (!lls::parse_u64_option("--work-budget", argv[++i], UINT64_MAX, &work_budget))
+                return usage(argv[0]);
         } else if (arg == "--batch") {
             batch = true;
         } else if (arg == "--out-dir" && i + 1 < argc) {
@@ -122,6 +113,7 @@ int main(int argc, char** argv) {
 
     lls::LookaheadParams params;
     params.max_iterations = iterations;
+    params.work_budget = work_budget;
     lls::EngineOptions engine;
     engine.jobs = jobs;
 
@@ -157,6 +149,11 @@ int main(int argc, char** argv) {
             std::printf("%s: depth %d -> %d, %zu -> %zu AND nodes (%.2fs)\n", r.name.c_str(),
                         r.stats.initial_depth, r.stats.final_depth, r.stats.initial_ands,
                         r.stats.final_ands, r.seconds);
+            if (work_budget > 0)
+                std::printf("%s: work budget spent %llu of %llu units%s\n", r.name.c_str(),
+                            static_cast<unsigned long long>(r.stats.work_units),
+                            static_cast<unsigned long long>(work_budget),
+                            r.stats.budget_exhausted ? " (exhausted)" : "");
             if (verify) {
                 const lls::CecResult cec =
                     lls::check_equivalence(items[i].input, r.output, 4000000);
@@ -215,6 +212,15 @@ int main(int argc, char** argv) {
     std::printf("%s flow: depth %d -> %d, %zu -> %zu AND nodes (%.2fs, %d jobs)\n", flow.c_str(),
                 circuit.depth(), optimized.depth(), circuit.count_reachable_ands(),
                 optimized.count_reachable_ands(), sw.elapsed_seconds(), jobs);
+    if (work_budget > 0)
+        std::printf("work budget: spent %llu of %llu units%s\n",
+                    static_cast<unsigned long long>(stats.work_units),
+                    static_cast<unsigned long long>(work_budget),
+                    stats.budget_exhausted ? " (exhausted)" : "");
+    if (stats.wall_clock_interrupted)
+        std::fprintf(stderr,
+                     "warning: wall-clock budget fired; this result is timing-dependent "
+                     "(use --work-budget for deterministic budgeted runs)\n");
     if (print_stats)
         for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());
     if (print_metrics) lls::Metrics::global().report(stdout);

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# run_checks.sh: tier-1 tests in the default configuration, then the
-# concurrency-sensitive engine tests under ThreadSanitizer.
+# run_checks.sh: tier-1 tests in the default configuration, a budgeted
+# determinism check of the CLI (same circuit + work budget at several
+# --jobs values must produce byte-identical outputs), then the
+# concurrency-sensitive engine/parse/io tests under ThreadSanitizer.
 #
 #   tools/run_checks.sh [--skip-tsan]
 #
@@ -17,14 +19,31 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== stage 2: budgeted determinism across job counts =="
+# The core claim of the deterministic work budget: exhausting it must cut
+# the run at the same round on every thread schedule, so the output files
+# are byte-identical across --jobs. Checked on both regression circuits.
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+for circuit in tests/data/rca16.blif tests/data/control24.blif; do
+    name="$(basename "$circuit" .blif)"
+    for j in 1 2 4; do
+        ./build/tools/lls_opt --work-budget 200 --jobs "$j" --iterations 6 \
+            "$circuit" "$WORKDIR/$name.j$j.blif" > /dev/null
+    done
+    cmp "$WORKDIR/$name.j1.blif" "$WORKDIR/$name.j2.blif"
+    cmp "$WORKDIR/$name.j1.blif" "$WORKDIR/$name.j4.blif"
+    echo "$name: budgeted outputs identical for --jobs 1/2/4"
+done
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
-    echo "== stage 2: skipped (--skip-tsan) =="
+    echo "== stage 3: skipped (--skip-tsan) =="
     exit 0
 fi
 
-echo "== stage 2: engine tests under ThreadSanitizer =="
+echo "== stage 3: engine tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_thread_pool test_engine
-(cd build-tsan && ctest -R 'test_thread_pool|test_engine' --output-on-failure)
+cmake --build build-tsan -j "$JOBS" --target test_thread_pool test_engine test_parse test_io
+(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io' --output-on-failure)
 
 echo "== all checks passed =="
