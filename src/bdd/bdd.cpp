@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
+
 namespace lls {
 
 BddManager::BddManager(int num_vars, std::size_t node_limit)
@@ -19,7 +21,10 @@ BddManager::Ref BddManager::make_node(int var, Ref low, Ref high) {
                               (static_cast<std::uint64_t>(low) << 22) |
                               static_cast<std::uint64_t>(high);
     if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
-    LLS_ENSURE(nodes_.size() < node_limit_ && "BDD node limit exceeded");
+    if (nodes_.size() >= node_limit_)
+        throw LlsError(ErrorKind::ResourceExhausted,
+                       "BDD node limit exceeded (" + std::to_string(node_limit_) + " nodes)",
+                       "bdd");
     const Ref ref = static_cast<Ref>(nodes_.size());
     nodes_.push_back(Node{var, low, high});
     unique_.emplace(key, ref);

@@ -58,8 +58,9 @@ public:
     /// Number of DAG nodes reachable from f (excluding terminals).
     std::size_t size(Ref f) const;
 
-    /// Total nodes allocated; exceeding the limit throws ContractViolation
-    /// (callers treat it as "circuit too large for exact analysis").
+    /// Total nodes allocated; exceeding the limit throws
+    /// LlsError{ResourceExhausted} (callers treat it as "circuit too large
+    /// for exact analysis" and degrade rather than abort).
     std::size_t node_limit() const { return node_limit_; }
 
 private:

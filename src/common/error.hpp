@@ -1,0 +1,89 @@
+#pragma once
+
+// Structured error taxonomy for the LLS library.
+//
+// Every failure the library can surface is an LlsError carrying an
+// ErrorKind plus optional context (pipeline stage, circuit name, cone/PO
+// id). The kind is what recovery code dispatches on — the engine's
+// per-cone retry ladder treats a SolverLimit differently from a
+// VerificationFailed — while the context fields make a contained fault
+// reportable without re-deriving where it happened. LlsError derives from
+// std::runtime_error so existing catch sites keep working.
+
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace lls {
+
+enum class ErrorKind {
+    ParseError,          ///< malformed input (BLIF/AIGER/CLI spec grammar)
+    ResourceExhausted,   ///< a guarded allocation ceiling was hit (BDD nodes, SAT literals, memory)
+    SolverLimit,         ///< a solver gave up within its configured effort bound
+    VerificationFailed,  ///< an equivalence check failed or could not be resolved
+    InvariantViolation,  ///< an internal contract was broken
+    IoError,             ///< filesystem open/read/write failure
+};
+
+inline const char* error_kind_name(ErrorKind kind) {
+    switch (kind) {
+        case ErrorKind::ParseError: return "parse";
+        case ErrorKind::ResourceExhausted: return "resource";
+        case ErrorKind::SolverLimit: return "solver";
+        case ErrorKind::VerificationFailed: return "verify";
+        case ErrorKind::InvariantViolation: return "invariant";
+        case ErrorKind::IoError: return "io";
+    }
+    return "unknown";
+}
+
+class LlsError : public std::runtime_error {
+public:
+    LlsError(ErrorKind kind, const std::string& message, std::string stage = {},
+             std::string circuit = {}, std::int64_t cone = -1)
+        : std::runtime_error(format(kind, message, stage, circuit, cone)),
+          kind_(kind),
+          stage_(std::move(stage)),
+          circuit_(std::move(circuit)),
+          cone_(cone) {}
+
+    ErrorKind kind() const { return kind_; }
+    /// Pipeline stage that raised ("decompose", "spcf", "cec", "bdd", ...).
+    const std::string& stage() const { return stage_; }
+    /// Circuit (batch item / file) being processed, when known.
+    const std::string& circuit() const { return circuit_; }
+    /// Cone / primary-output index being processed, -1 when not cone-scoped.
+    std::int64_t cone() const { return cone_; }
+
+private:
+    static std::string format(ErrorKind kind, const std::string& message,
+                              const std::string& stage, const std::string& circuit,
+                              std::int64_t cone) {
+        std::string s = "[";
+        s += error_kind_name(kind);
+        if (!stage.empty()) s += "/" + stage;
+        s += "] " + message;
+        if (!circuit.empty()) s += " (circuit " + circuit + ")";
+        if (cone >= 0) s += " (cone " + std::to_string(cone) + ")";
+        return s;
+    }
+
+    ErrorKind kind_;
+    std::string stage_;
+    std::string circuit_;
+    std::int64_t cone_;
+};
+
+/// Classifies an arbitrary exception into the taxonomy: LlsError keeps its
+/// kind, allocation failures map to ResourceExhausted, broken contracts to
+/// InvariantViolation (the conservative default for anything unknown).
+inline ErrorKind error_kind_of(const std::exception& e) {
+    if (const auto* lls = dynamic_cast<const LlsError*>(&e)) return lls->kind();
+    if (dynamic_cast<const std::bad_alloc*>(&e)) return ErrorKind::ResourceExhausted;
+    return ErrorKind::InvariantViolation;
+}
+
+}  // namespace lls

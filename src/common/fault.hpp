@@ -1,0 +1,221 @@
+#pragma once
+
+// Deterministic fault injection and fault reporting.
+//
+// A FaultPlan is parsed from the spec grammar `kind@site[:count]`
+// (comma-separated for several specs):
+//
+//   kind  := parse | resource | solver | verify | invariant | io | fatal
+//   site  := decompose | spcf | sat | cec | ...   (engine sites)
+//            batch                                (CLI-level fatal site)
+//   count := how many retry-ladder rungs the fault poisons (default 1);
+//            for `fatal@batch:N`, the number of journaled circuits after
+//            which the CLI simulates a crash.
+//
+// Injection is deterministic by construction: a spec `kind@site:count`
+// fires a synthetic LlsError of `kind` every time evaluation reaches the
+// named site on ladder rungs 0..count-1. The decision depends only on
+// (plan, site, rung) — never on wall clock, thread schedule, or cache
+// state — so fault-injected runs stay bit-identical across --jobs values,
+// and every recovery path is exercisable in tests and CI with a
+// reproducible schedule. The plan fingerprint is mixed into the engine's
+// params fingerprint (memo keys + per-cone RNG seeds), so memoized
+// evaluations replay their injected faults consistently.
+//
+// FaultRecord is the report of one contained fault: what fired, where,
+// which ladder rungs were retried, and whether the cone recovered. The
+// engine appends records to OptimizeStats::faults at the serial commit
+// point, in deterministic task order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lls {
+
+/// One contained fault: taxonomy kind, pipeline stage, cone scope, and the
+/// retry history of the recovery ladder.
+struct FaultRecord {
+    ErrorKind kind = ErrorKind::InvariantViolation;
+    std::string stage;                 ///< pipeline stage that faulted
+    std::string detail;                ///< human-readable cause (exception text)
+    int cone = -1;                     ///< PO index of the cone (filled at commit)
+    std::string cone_name;             ///< PO name (filled at commit)
+    std::vector<std::string> retries;  ///< ladder rungs attempted after the first fault
+    bool recovered = false;            ///< a later rung completed; false = cone kept original
+};
+
+/// One parsed `kind@site[:count]` spec.
+struct FaultSpec {
+    ErrorKind kind = ErrorKind::ResourceExhausted;
+    bool fatal = false;  ///< `fatal@...`: process-kill fault, handled by the CLI only
+    std::string site;
+    int count = 1;
+};
+
+/// A parsed fault-injection plan. Empty plans (the default) inject nothing
+/// and add nothing to the params fingerprint.
+class FaultPlan {
+public:
+    FaultPlan() = default;
+
+    /// Parses the spec grammar; throws LlsError{ParseError} on malformed
+    /// input (unknown kind, empty site, non-positive count, bad syntax).
+    static FaultPlan parse(const std::string& text) {
+        FaultPlan plan;
+        std::size_t pos = 0;
+        while (pos <= text.size()) {
+            std::size_t comma = text.find(',', pos);
+            if (comma == std::string::npos) comma = text.size();
+            const std::string item = text.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (item.empty()) {
+                if (text.empty()) break;
+                throw LlsError(ErrorKind::ParseError, "empty fault spec in '" + text + "'",
+                               "fault-plan");
+            }
+            plan.specs_.push_back(parse_spec(item));
+            if (comma == text.size()) break;
+        }
+        return plan;
+    }
+
+    bool empty() const { return specs_.empty(); }
+    const std::vector<FaultSpec>& specs() const { return specs_; }
+
+    /// Poison count of `site` for engine-level (non-fatal) specs; 0 when
+    /// the site is not in the plan.
+    int count_for(std::string_view site) const {
+        for (const auto& s : specs_)
+            if (!s.fatal && s.site == site) return s.count;
+        return 0;
+    }
+
+    ErrorKind kind_for(std::string_view site) const {
+        for (const auto& s : specs_)
+            if (!s.fatal && s.site == site) return s.kind;
+        return ErrorKind::ResourceExhausted;
+    }
+
+    /// Threshold of the CLI-level `fatal@site:count` spec, 0 when absent.
+    int fatal_count_for(std::string_view site) const {
+        for (const auto& s : specs_)
+            if (s.fatal && s.site == site) return s.count;
+        return 0;
+    }
+
+    /// Canonical spec string of the non-fatal (engine-relevant) specs —
+    /// what the CLI forwards into LookaheadParams::fault_plan.
+    std::string engine_spec() const {
+        std::string out;
+        for (const auto& s : specs_) {
+            if (s.fatal) continue;
+            if (!out.empty()) out += ',';
+            out += error_kind_name(s.kind);
+            out += '@';
+            out += s.site;
+            out += ':' + std::to_string(s.count);
+        }
+        return out;
+    }
+
+    /// Deterministic 64-bit fingerprint over the non-fatal specs (fatal
+    /// specs never reach the engine, so they must not perturb memo keys or
+    /// RNG seeds — an interrupted-and-resumed run has to follow the same
+    /// trajectory as an uninterrupted one).
+    std::uint64_t fingerprint() const {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        auto mix = [&h](std::string_view s) {
+            for (const char c : s) {
+                h ^= static_cast<unsigned char>(c);
+                h *= 0x100000001b3ULL;
+            }
+            h ^= 0xff;
+            h *= 0x100000001b3ULL;
+        };
+        for (const auto& s : specs_) {
+            if (s.fatal) continue;
+            mix(error_kind_name(s.kind));
+            mix(s.site);
+            mix(std::to_string(s.count));
+        }
+        return h;
+    }
+
+private:
+    static FaultSpec parse_spec(const std::string& item) {
+        const std::size_t at = item.find('@');
+        if (at == std::string::npos || at == 0)
+            throw LlsError(ErrorKind::ParseError,
+                           "fault spec '" + item + "' is not kind@site[:count]", "fault-plan");
+        FaultSpec spec;
+        const std::string kind = item.substr(0, at);
+        if (kind == "parse") spec.kind = ErrorKind::ParseError;
+        else if (kind == "resource") spec.kind = ErrorKind::ResourceExhausted;
+        else if (kind == "solver") spec.kind = ErrorKind::SolverLimit;
+        else if (kind == "verify") spec.kind = ErrorKind::VerificationFailed;
+        else if (kind == "invariant") spec.kind = ErrorKind::InvariantViolation;
+        else if (kind == "io") spec.kind = ErrorKind::IoError;
+        else if (kind == "fatal") spec.fatal = true;
+        else
+            throw LlsError(ErrorKind::ParseError, "unknown fault kind '" + kind + "'",
+                           "fault-plan");
+
+        std::string rest = item.substr(at + 1);
+        const std::size_t colon = rest.find(':');
+        if (colon != std::string::npos) {
+            const std::string count = rest.substr(colon + 1);
+            rest.resize(colon);
+            std::size_t consumed = 0;
+            int value = 0;
+            try {
+                value = std::stoi(count, &consumed);
+            } catch (const std::exception&) {
+                consumed = 0;
+            }
+            if (consumed != count.size() || value <= 0)
+                throw LlsError(ErrorKind::ParseError,
+                               "fault count '" + count + "' must be a positive integer",
+                               "fault-plan");
+            spec.count = value;
+        }
+        if (rest.empty())
+            throw LlsError(ErrorKind::ParseError, "fault spec '" + item + "' has an empty site",
+                           "fault-plan");
+        spec.site = std::move(rest);
+        return spec;
+    }
+
+    std::vector<FaultSpec> specs_;
+};
+
+/// Per-attempt injection hook: one FaultContext per (cone evaluation,
+/// ladder rung). `check(site, stage)` throws the planned synthetic
+/// LlsError when the plan poisons `site` on this rung — a pure function of
+/// (plan, site, rung), which is what keeps injected runs deterministic.
+class FaultContext {
+public:
+    FaultContext(const FaultPlan* plan, int rung) : plan_(plan), rung_(rung) {}
+
+    /// Fires the planned fault for `site`, if any, as LlsError at `stage`.
+    void check(std::string_view site, std::string_view stage) const {
+        if (!plan_) return;
+        const int count = plan_->count_for(site);
+        if (count <= 0 || rung_ >= count) return;
+        throw LlsError(plan_->kind_for(site),
+                       "injected fault at site '" + std::string(site) + "' (rung " +
+                           std::to_string(rung_) + ")",
+                       std::string(stage));
+    }
+
+    int rung() const { return rung_; }
+
+private:
+    const FaultPlan* plan_ = nullptr;
+    int rung_ = 0;
+};
+
+}  // namespace lls

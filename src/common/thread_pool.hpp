@@ -125,7 +125,17 @@ private:
                 task = std::move(queue_.front());
                 queue_.pop_front();
             }
-            task();
+            // A throwing task must never take the worker down with it: the
+            // packaged_task wrapper created by submit() captures anything
+            // the user callable throws into the task's future, and this
+            // backstop contains whatever could still escape the wrapper
+            // itself (e.g. std::bad_alloc while storing the exception).
+            // Losing a worker here would strand queued tasks forever — the
+            // submitting thread deadlocks on futures nobody will fulfill.
+            try {
+                task();
+            } catch (...) {
+            }
         }
     }
 

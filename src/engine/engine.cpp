@@ -8,10 +8,14 @@
 
 #include <atomic>
 
+#include <mutex>
+
 #include "aig/aig_build.hpp"
 #include "baseline/restructure.hpp"
 #include "cec/cec.hpp"
 #include "common/budget.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/metrics.hpp"
@@ -51,6 +55,10 @@ std::uint64_t params_fingerprint(const LookaheadParams& p) {
     h = hash_mix(h, static_cast<std::uint64_t>(p.sat_conflict_limit));
     h = hash_mix(h, p.use_implication_rules);
     h = hash_mix(h, p.secondary_simplification);
+    // A non-empty fault plan changes what the evaluations compute, so it
+    // must change the memo key; an empty plan adds nothing, keeping every
+    // fault-free fingerprint (and so every RNG stream) exactly as before.
+    if (!p.fault_plan.empty()) h = hash_mix(h, FaultPlan::parse(p.fault_plan).fingerprint());
     return h;
 }
 
@@ -62,6 +70,11 @@ std::uint64_t params_fingerprint(const LookaheadParams& p) {
 struct ConeEvaluation {
     std::shared_ptr<const DecomposeOutcome> outcome;
     WorkCost cost;
+    /// Faults contained by the retry ladder while evaluating this cone
+    /// (cone id/name are filled in at the serial commit). Stored in the
+    /// memo with the rest of the evaluation, so a cache hit replays its
+    /// fault history the same way it replays its cost.
+    std::vector<FaultRecord> faults;
 };
 
 /// Decomposition memo: (cone structural hash, params fingerprint) -> the
@@ -83,8 +96,10 @@ DecomposeMemo& decompose_memo() {
 CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t conflict_limit,
                                  bool use_cache, WorkCost* cost = nullptr) {
     if (!use_cache) return check_equivalence(a, b, conflict_limit, cost);
-    const auto [lo, hi] = std::minmax(a.hash(), b.hash());
-    const std::pair<std::uint64_t, std::uint64_t> key{lo, hi};
+    // Not std::minmax: it returns references into the hash() temporaries,
+    // which dangle once this statement ends.
+    const std::uint64_t ha = a.hash(), hb = b.hash();
+    const std::pair<std::uint64_t, std::uint64_t> key{std::min(ha, hb), std::max(ha, hb)};
     if (const auto verdict = cec_memo().get(key)) {
         CecResult r;
         r.equivalent = *verdict;
@@ -120,6 +135,9 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     MetricCounter& work_cec_conflicts = metrics.counter("engine.work.cec.sat_conflicts");
     MetricCounter& budget_stops = metrics.counter("engine.budget_exhausted");
     MetricCounter& wall_clock_stops = metrics.counter("engine.wall_clock_interrupts");
+    MetricCounter& fault_records = metrics.counter("engine.fault.records");
+    MetricCounter& fault_recovered = metrics.counter("engine.fault.recovered");
+    MetricCounter& fault_degraded = metrics.counter("engine.fault.degraded");
     const ScopedTimer total_scope(total_timer);
     metrics.counter("engine.runs").add();
 
@@ -127,6 +145,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     // jobs - 1 workers applies exactly `jobs` threads to the cone fan-out.
     const int jobs = std::max(1, engine.jobs);
     ThreadPool pool(static_cast<std::size_t>(jobs - 1));
+    // A malformed plan is an entry error, raised before any work starts.
+    const FaultPlan fault_plan = FaultPlan::parse(params.fault_plan);
     const std::uint64_t fingerprint = params_fingerprint(params);
 
     // Master RNG for the *serial* stages (SAT sweeping). Candidate
@@ -176,16 +196,68 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     constexpr std::size_t kPerIterationCheckLimit = 1500;
 
     // Evaluation of one candidate: pure function of (current, po, params) —
-    // including its work cost, which the memo stores alongside the outcome.
+    // including its work cost and fault history, which the memo stores
+    // alongside the outcome.
+    //
+    // The retry ladder runs *inside* the memoized computation. When an
+    // exception escapes a rung, the next rung retries the cone under
+    // progressively more conservative settings:
+    //   rung 0: the caller's params;
+    //   rung 1: escalated SAT conflict cap (x16);
+    //   rung 2: rung 1 + exact BDD verification instead of SAT CEC.
+    // Every rung re-seeds the cone RNG identically and charges its work to
+    // the evaluation's cost, so the ladder — like the fault injection that
+    // exercises it — is a pure function of (cone, params): bit-identical
+    // across job counts, and replayed verbatim on a memo hit. A cone whose
+    // last rung still faults degrades to "no improvement" (the commit keeps
+    // its original structure) with `recovered = false` in the record.
     auto evaluate_cone = [&](const Aig& current, std::size_t po) -> ConeEvaluation {
         const Aig cone = extract_cone(current, po);
         const std::uint64_t cone_hash = cone.hash();
         auto compute = [&]() -> ConeEvaluation {
             cones_evaluated.add();
-            Rng cone_rng(hash_mix(fingerprint, cone_hash));
             ConeEvaluation evaluation;
-            if (auto outcome = decompose_output(cone, params, cone_rng, &evaluation.cost))
-                evaluation.outcome = std::make_shared<const DecomposeOutcome>(std::move(*outcome));
+            constexpr int kNumRungs = 3;
+            static const char* const kRungLabel[kNumRungs] = {"base", "escalated-sat",
+                                                              "bdd-exact"};
+            FaultRecord record;
+            bool faulted = false;
+            for (int rung = 0; rung < kNumRungs; ++rung) {
+                LookaheadParams rung_params = params;
+                if (rung >= 1)
+                    rung_params.sat_conflict_limit =
+                        std::max<std::int64_t>(params.sat_conflict_limit, 1) * 16;
+                const FaultContext fault_context(&fault_plan, rung);
+                DecomposeHooks hooks;
+                hooks.faults = &fault_context;
+                hooks.exact_verify = rung == 2;
+                Rng cone_rng(hash_mix(fingerprint, cone_hash));
+                try {
+                    if (auto outcome =
+                            decompose_output(cone, rung_params, cone_rng, &evaluation.cost, &hooks))
+                        evaluation.outcome =
+                            std::make_shared<const DecomposeOutcome>(std::move(*outcome));
+                    if (faulted) {
+                        record.retries.push_back(std::string(kRungLabel[rung]) + ": ok");
+                        record.recovered = true;
+                    }
+                    break;
+                } catch (const std::exception& e) {
+                    if (!faulted) {
+                        faulted = true;
+                        record.kind = error_kind_of(e);
+                        const auto* lls_error = dynamic_cast<const LlsError*>(&e);
+                        record.stage = lls_error && !lls_error->stage().empty()
+                                           ? lls_error->stage()
+                                           : "evaluate";
+                        record.detail = e.what();
+                    } else {
+                        record.retries.push_back(std::string(kRungLabel[rung]) + ": " +
+                                                 error_kind_name(error_kind_of(e)));
+                    }
+                }
+            }
+            if (faulted) evaluation.faults.push_back(std::move(record));
             return evaluation;
         };
         if (!engine.use_result_cache) return compute();
@@ -230,7 +302,25 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 const ScopedTimer evaluate_scope(evaluate_timer);
                 pool.parallel_for(0, tasks.size(), [&](std::size_t i) {
                     if (wall_clock_expired()) return;
-                    evaluations[i] = evaluate_cone(current, tasks[i].po);
+                    // Task-boundary backstop: the retry ladder contains
+                    // faults inside the evaluation, so anything arriving
+                    // here escaped outside it (cone extraction, the memo
+                    // itself, allocation). The cone degrades to "keep
+                    // original structure" and the round continues.
+                    try {
+                        evaluations[i] = evaluate_cone(current, tasks[i].po);
+                    } catch (const std::exception& e) {
+                        ConeEvaluation degraded;
+                        FaultRecord record;
+                        record.kind = error_kind_of(e);
+                        const auto* lls_error = dynamic_cast<const LlsError*>(&e);
+                        record.stage = lls_error && !lls_error->stage().empty()
+                                           ? lls_error->stage()
+                                           : "evaluate";
+                        record.detail = e.what();
+                        degraded.faults.push_back(std::move(record));
+                        evaluations[i] = std::move(degraded);
+                    }
                 });
             }
             if (wall_clock_fired.load(std::memory_order_relaxed)) break;
@@ -245,6 +335,20 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 budget.charge(round_cost);
                 work_decompositions.add(round_cost.decompositions);
                 work_eval_conflicts.add(round_cost.sat_conflicts);
+            }
+
+            // Report contained faults at the same serial point, in task
+            // order, stamping each record with its cone — deterministic for
+            // every job count, memo hits included.
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                for (FaultRecord record : evaluations[i].faults) {
+                    record.cone = static_cast<int>(tasks[i].po);
+                    record.cone_name = current.po_name(tasks[i].po);
+                    fault_records.add();
+                    if (record.recovered) fault_recovered.add();
+                    else fault_degraded.add();
+                    local.faults.push_back(std::move(record));
+                }
             }
 
             // Serial commit in PO order: rebuild the circuit output by
@@ -428,22 +532,45 @@ Aig optimize_timing(const Aig& input, const LookaheadParams& params, OptimizeSta
     return optimize_timing_engine(input, params, EngineOptions{}, stats);
 }
 
-std::vector<BatchOutcome> optimize_timing_batch(const std::vector<BatchItem>& items,
-                                                const LookaheadParams& params,
-                                                const EngineOptions& engine) {
+std::vector<BatchOutcome> optimize_timing_batch(
+    const std::vector<BatchItem>& items, const LookaheadParams& params,
+    const EngineOptions& engine,
+    const std::function<void(const BatchOutcome&, std::size_t)>& on_complete) {
     std::vector<BatchOutcome> outcomes(items.size());
     const std::size_t jobs = static_cast<std::size_t>(std::max(1, engine.jobs));
     ThreadPool pool(std::min(jobs - 1, items.empty() ? 0 : items.size() - 1));
     EngineOptions per_item = engine;
     per_item.jobs = 1;  // circuit-level parallelism dominates in a batch
+    std::mutex complete_mutex;
     pool.parallel_for(0, items.size(), [&](std::size_t i) {
         Stopwatch item_clock;
         outcomes[i].name = items[i].name;
-        outcomes[i].output =
-            optimize_timing_engine(items[i].input, params, per_item, &outcomes[i].stats);
+        // Item-level fault boundary: one failing circuit must not abort the
+        // other 99. The failed item degrades to its unmodified input — the
+        // same keep-original rule the per-cone boundary applies — and is
+        // reported through `failed`/`error` and the metrics registry.
+        try {
+            outcomes[i].output =
+                optimize_timing_engine(items[i].input, params, per_item, &outcomes[i].stats);
+        } catch (const std::exception& e) {
+            outcomes[i].failed = true;
+            outcomes[i].error = e.what();
+            outcomes[i].output = items[i].input.cleanup();
+            outcomes[i].stats = OptimizeStats{};
+            outcomes[i].stats.verified = false;
+            Metrics::global().counter("engine.batch.item_failures").add();
+        }
         outcomes[i].seconds = item_clock.elapsed_seconds();
+        if (on_complete) {
+            const std::lock_guard<std::mutex> lock(complete_mutex);
+            on_complete(outcomes[i], i);
+        }
     });
     return outcomes;
+}
+
+std::uint64_t lookahead_params_fingerprint(const LookaheadParams& params) {
+    return params_fingerprint(params);
 }
 
 CacheStatsSnapshot decomposition_cache_stats() { return decompose_memo().stats(); }

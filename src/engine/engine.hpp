@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -47,15 +49,41 @@ struct BatchOutcome {
     Aig output;
     OptimizeStats stats;
     double seconds = 0.0;
+    /// The item's optimization threw past every recovery rung. The batch
+    /// keeps going; `output` is the *input circuit unchanged* (the same
+    /// degrade-to-original rule the per-cone fault boundary applies), and
+    /// `error` carries the diagnostic.
+    bool failed = false;
+    std::string error;
 };
 
 /// Optimizes every item of a batch, running up to `engine.jobs` circuits
 /// concurrently (each circuit itself serial — circuit-level parallelism
 /// dominates when there are many inputs). Outcomes are returned in input
 /// order regardless of completion order.
-std::vector<BatchOutcome> optimize_timing_batch(const std::vector<BatchItem>& items,
-                                                const LookaheadParams& params,
-                                                const EngineOptions& engine);
+///
+/// Any exception escaping one item is contained at the item boundary: the
+/// outcome is marked `failed`, its output degrades to the unmodified
+/// input, and the remaining items still run.
+///
+/// `on_complete` (optional) is invoked once per item as it finishes, under
+/// an internal mutex (never concurrently), with the finished outcome and
+/// its index. This is the checkpoint hook: journaling and output writing
+/// happen here so an interrupted batch keeps every finished circuit.
+/// Completion *order* follows the thread schedule; anything order-sensitive
+/// must key on the index, not the call sequence.
+std::vector<BatchOutcome> optimize_timing_batch(
+    const std::vector<BatchItem>& items, const LookaheadParams& params,
+    const EngineOptions& engine,
+    const std::function<void(const BatchOutcome&, std::size_t)>& on_complete = {});
+
+/// The fingerprint of every LookaheadParams field the cone evaluations
+/// read (including a non-empty fault plan). This keys the decomposition
+/// memo and seeds the per-cone RNGs; batch checkpoints store it so
+/// `--resume` only reuses journal entries produced under identical
+/// parameters. Throws LlsError{ParseError} if `params.fault_plan` is
+/// malformed.
+std::uint64_t lookahead_params_fingerprint(const LookaheadParams& params);
 
 /// Stats of the process-wide decomposition memo (tests and --metrics).
 CacheStatsSnapshot decomposition_cache_stats();

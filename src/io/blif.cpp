@@ -12,6 +12,7 @@
 
 #include "aig/aig_build.hpp"
 #include "common/check.hpp"
+#include "common/error.hpp"
 #include "sop/sop.hpp"
 
 namespace lls {
@@ -26,23 +27,34 @@ std::vector<std::string> tokenize(const std::string& line) {
     return tokens;
 }
 
+/// A logical line plus the physical line number where it started, so every
+/// diagnostic can point at the offending source line even across
+/// '\'-continuations.
+struct BlifLine {
+    std::string text;
+    int number = 0;
+};
+
 /// Reads logical lines, joining '\'-continued lines and stripping comments.
-std::vector<std::string> logical_lines(std::istream& in) {
-    std::vector<std::string> lines;
+std::vector<BlifLine> logical_lines(std::istream& in) {
+    std::vector<BlifLine> lines;
     std::string line, pending;
+    int number = 0, pending_start = 0;
     while (std::getline(in, line)) {
+        ++number;
         if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
         while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+        if (pending.empty()) pending_start = number;
         if (!line.empty() && line.back() == '\\') {
             line.pop_back();
             pending += line;
             continue;
         }
         pending += line;
-        if (!pending.empty()) lines.push_back(pending);
+        if (!pending.empty()) lines.push_back(BlifLine{pending, pending_start});
         pending.clear();
     }
-    if (!pending.empty()) lines.push_back(pending);
+    if (!pending.empty()) lines.push_back(BlifLine{pending, pending_start});
     return lines;
 }
 
@@ -50,43 +62,89 @@ struct BlifGate {
     std::vector<std::string> inputs;
     std::string output;
     std::vector<std::string> cover;  // raw cover lines ("10-1 1")
+    int line = 0;                    // .names line, for diagnostics
 };
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+    throw LlsError(ErrorKind::ParseError, "line " + std::to_string(line) + ": " + message,
+                   "blif");
+}
 
 }  // namespace
 
 Aig read_blif(std::istream& in) {
     const auto lines = logical_lines(in);
-    std::vector<std::string> input_names, output_names;
+    std::vector<std::string> input_names;
+    std::vector<std::pair<std::string, int>> output_names;  // name, .outputs line
     std::vector<BlifGate> gates;
     BlifGate* current = nullptr;
+    // First definition line of every signal (PI declaration or .names
+    // output) — the duplicate-driver diagnostic names both sites.
+    std::unordered_map<std::string, int> defined_at;
+    bool saw_end = false;
+    int last_line = 0;
 
-    for (const auto& line : lines) {
+    for (const auto& logical : lines) {
+        const std::string& line = logical.text;
+        last_line = logical.number;
         auto tokens = tokenize(line);
         if (tokens.empty()) continue;
         const std::string& head = tokens[0];
-        if (head == ".model" || head == ".end") {
+        if (head == ".model") {
             current = nullptr;
+        } else if (head == ".end") {
+            current = nullptr;
+            saw_end = true;
         } else if (head == ".inputs") {
             current = nullptr;
-            input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+            for (auto it = tokens.begin() + 1; it != tokens.end(); ++it) {
+                const auto [prev, inserted] = defined_at.emplace(*it, logical.number);
+                if (!inserted)
+                    parse_fail(logical.number, "signal '" + *it +
+                                                   "' already declared at line " +
+                                                   std::to_string(prev->second));
+                input_names.push_back(*it);
+            }
         } else if (head == ".outputs") {
             current = nullptr;
-            output_names.insert(output_names.end(), tokens.begin() + 1, tokens.end());
+            for (auto it = tokens.begin() + 1; it != tokens.end(); ++it)
+                output_names.emplace_back(*it, logical.number);
         } else if (head == ".names") {
-            if (tokens.size() < 2) throw std::runtime_error("BLIF: .names without signals");
+            if (tokens.size() < 2) parse_fail(logical.number, ".names without signals");
+            const std::string& output = tokens.back();
+            const auto [prev, inserted] = defined_at.emplace(output, logical.number);
+            if (!inserted)
+                parse_fail(logical.number,
+                           "duplicate driver for signal '" + output + "' (first defined at line " +
+                               std::to_string(prev->second) + ")");
             gates.push_back(BlifGate{});
             current = &gates.back();
-            current->output = tokens.back();
+            current->output = output;
             current->inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+            current->line = logical.number;
         } else if (head == ".latch" || head == ".subckt" || head == ".gate") {
-            throw std::runtime_error("BLIF: only combinational .names models are supported");
+            parse_fail(logical.number, "only combinational .names models are supported (" +
+                                           head + ")");
         } else if (head[0] == '.') {
             current = nullptr;  // ignore other directives (.default_input_arrival etc.)
         } else {
-            if (!current) throw std::runtime_error("BLIF: cover line outside .names");
+            if (!current) parse_fail(logical.number, "cover line outside .names");
             current->cover.push_back(line);
         }
     }
+    if (!lines.empty() && !saw_end)
+        parse_fail(last_line, "missing .end (truncated model?)");
+
+    // Every referenced signal must be declared (a PI) or driven by a gate
+    // — resolving against an absent signal would otherwise either hang the
+    // iterative pass or build a silently-wrong network.
+    for (const auto& g : gates)
+        for (const auto& s : g.inputs)
+            if (!defined_at.count(s))
+                parse_fail(g.line, "reference to undeclared signal '" + s + "'");
+    for (const auto& [name, line] : output_names)
+        if (!defined_at.count(name))
+            parse_fail(line, "output '" + name + "' is never driven");
 
     Aig aig;
     std::unordered_map<std::string, AigLit> signals;
@@ -107,25 +165,26 @@ Aig read_blif(std::istream& in) {
 
             const int k = static_cast<int>(g.inputs.size());
             if (k > Cube::kMaxVars)
-                throw std::runtime_error("BLIF: .names with more than 32 inputs");
+                parse_fail(g.line, ".names with more than " + std::to_string(Cube::kMaxVars) +
+                                       " inputs");
             Sop on(k);
             bool off_phase = false, phase_known = false;
             for (const auto& raw : g.cover) {
                 const auto tokens = tokenize(raw);
                 std::string bits, out;
                 if (k == 0) {
-                    if (tokens.size() != 1) throw std::runtime_error("BLIF: bad constant cover");
+                    if (tokens.size() != 1) parse_fail(g.line, "bad constant cover");
                     out = tokens[0];
                 } else {
-                    if (tokens.size() != 2) throw std::runtime_error("BLIF: bad cover line");
+                    if (tokens.size() != 2) parse_fail(g.line, "bad cover line");
                     bits = tokens[0];
                     out = tokens[1];
                     if (static_cast<int>(bits.size()) != k)
-                        throw std::runtime_error("BLIF: cover width mismatch");
+                        parse_fail(g.line, "cover width mismatch");
                 }
                 const bool this_off = out == "0";
                 if (phase_known && this_off != off_phase)
-                    throw std::runtime_error("BLIF: mixed cover phases");
+                    parse_fail(g.line, "mixed cover phases");
                 off_phase = this_off;
                 phase_known = true;
                 Cube c;
@@ -133,7 +192,7 @@ Aig read_blif(std::istream& in) {
                     if (bits[static_cast<std::size_t>(v)] == '1') c = c.with_literal(v, true);
                     else if (bits[static_cast<std::size_t>(v)] == '0') c = c.with_literal(v, false);
                     else if (bits[static_cast<std::size_t>(v)] != '-')
-                        throw std::runtime_error("BLIF: bad cover character");
+                        parse_fail(g.line, "bad cover character");
                 }
                 on.add_cube(c);
             }
@@ -150,11 +209,16 @@ Aig read_blif(std::istream& in) {
             progress = true;
         }
     }
-    if (remaining > 0) throw std::runtime_error("BLIF: unresolved (cyclic or undriven) signals");
+    if (remaining > 0) {
+        for (std::size_t gi = 0; gi < gates.size(); ++gi)
+            if (!done[gi])
+                parse_fail(gates[gi].line,
+                           "signal '" + gates[gi].output + "' is part of a combinational cycle");
+    }
 
-    for (const auto& name : output_names) {
+    for (const auto& [name, line] : output_names) {
         const auto it = signals.find(name);
-        if (it == signals.end()) throw std::runtime_error("BLIF: undriven output " + name);
+        if (it == signals.end()) parse_fail(line, "output '" + name + "' is never driven");
         aig.add_po(it->second, name);
     }
     return aig.cleanup();
@@ -162,7 +226,7 @@ Aig read_blif(std::istream& in) {
 
 Aig read_blif_file(const std::string& path) {
     std::ifstream in(path);
-    if (!in) throw std::runtime_error("cannot open " + path);
+    if (!in) throw LlsError(ErrorKind::IoError, "cannot open " + path, "blif");
     return read_blif(in);
 }
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "aig/aig_build.hpp"
+#include "bdd/aig_bdd.hpp"
 #include "cec/cec.hpp"
 #include "common/bitops.hpp"
 #include "lookahead/reduce.hpp"
@@ -40,8 +41,10 @@ bool signature_implies(const Signature& a, const Signature& b) {
 /// (the public wrapper merges them into the caller's accumulator).
 std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                                                       const LookaheadParams& params, Rng& rng,
-                                                      WorkCost& cost) {
+                                                      WorkCost& cost,
+                                                      const DecomposeHooks& hooks) {
     LLS_REQUIRE(cone.num_pos() == 1);
+    if (hooks.faults) hooks.faults->check("decompose", "decompose");
     const int old_depth = cone.depth();
     if (old_depth < 2) return std::nullopt;
 
@@ -58,6 +61,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                                    ? spcf
                                    : compute_spcf(cone, patterns, aig_sigs, delta);
     const Signature& spcf_sig = spcf_at_delta.po_spcf[0];
+    if (hooks.faults) hooks.faults->check("spcf", "spcf");
     if (spcf_at_delta.empty(0)) return std::nullopt;
 
     // --- 2. cluster into a technology-independent network -------------------
@@ -118,6 +122,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     extend_sigs_for_copies(secondary_map, size_before_secondary);
 
     if (params.secondary_simplification) {
+        if (hooks.faults) hooks.faults->check("sat", "simplify");
         // With random patterns a zero sampled weight is only evidence; every
         // cube drop must be proven unreachable under !Sigma_1 by SAT before
         // it becomes a don't-care (DESIGN.md, "Key algorithmic decisions").
@@ -265,8 +270,15 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                 old_depth, new_depth, candidates[best].rule.c_str(), levels[s.node()],
                 levels[a.node()], levels[b.node()]);
     if (new_depth > old_depth) return std::nullopt;
-    const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000, &cost);
-    if (!cec.resolved || !cec.equivalent) return std::nullopt;
+    if (hooks.faults) hooks.faults->check("cec", "cec");
+    if (hooks.exact_verify) {
+        // Last-resort rung of the engine's retry ladder: canonical BDDs
+        // decide equivalence exactly instead of bounding SAT effort.
+        if (!bdd_equivalent(result, cone, hooks.exact_verify_bdd_limit)) return std::nullopt;
+    } else {
+        const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000, &cost);
+        if (!cec.resolved || !cec.equivalent) return std::nullopt;
+    }
 
     DecomposeOutcome outcome;
     outcome.aig = std::move(result);
@@ -280,12 +292,21 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
 }  // namespace
 
 std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
-                                                 Rng& rng, WorkCost* cost) {
+                                                 Rng& rng, WorkCost* cost,
+                                                 const DecomposeHooks* hooks) {
     WorkCost local;
     local.decompositions = 1;  // the attempt itself, even when it bails early
-    auto result = decompose_output_impl(cone, params, rng, local);
-    if (cost) *cost += local;
-    return result;
+    const DecomposeHooks no_hooks;
+    try {
+        auto result = decompose_output_impl(cone, params, rng, local, hooks ? *hooks : no_hooks);
+        if (cost) *cost += local;
+        return result;
+    } catch (...) {
+        // A faulted attempt charges the budget exactly like a completed
+        // one — budgeted determinism must hold on recovery paths too.
+        if (cost) *cost += local;
+        throw;
+    }
 }
 
 }  // namespace lls

@@ -5,10 +5,27 @@
 
 #include "aig/aig.hpp"
 #include "common/budget.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "lookahead/params.hpp"
 
 namespace lls {
+
+/// Fault-containment hooks the engine threads into a cone decomposition.
+///
+/// `faults` is the deterministic injection context of the current retry
+/// rung: the pipeline stages call `faults->check(site, stage)` at their
+/// counted work points ("decompose", "spcf", "sat", "cec"), which throws
+/// the planned synthetic LlsError when the active fault plan poisons that
+/// site on this rung. `exact_verify` switches the final equivalence check
+/// from SAT-based CEC to canonical-BDD comparison — the engine's
+/// last-resort verification rung when the SAT solver keeps hitting its
+/// effort limit.
+struct DecomposeHooks {
+    const FaultContext* faults = nullptr;
+    bool exact_verify = false;
+    std::size_t exact_verify_bdd_limit = std::size_t{1} << 21;
+};
 
 /// Result of one level of lookahead decomposition on a single-output cone.
 struct DecomposeOutcome {
@@ -41,7 +58,13 @@ struct DecomposeOutcome {
 /// conflict of the don't-care, implication, and verification queries. The
 /// total is a pure function of (cone, params, rng seed) — the engine's
 /// budgeted-determinism guarantee rests on this (common/budget.hpp).
+///
+/// Work spent before an exception is still merged into `cost`, so a
+/// faulted rung charges the budget exactly like a completed one. `hooks`
+/// (optional) carries the fault-injection context and the
+/// exact-verification switch of the engine's retry ladder.
 std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
-                                                 Rng& rng, WorkCost* cost = nullptr);
+                                                 Rng& rng, WorkCost* cost = nullptr,
+                                                 const DecomposeHooks* hooks = nullptr);
 
 }  // namespace lls

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "common/fault.hpp"
 #include "lookahead/params.hpp"
 
 namespace lls {
@@ -28,6 +29,12 @@ struct OptimizeStats {
     /// in-flight round was discarded and the result is timing-dependent —
     /// reruns may differ. Never set on purely work-budgeted runs.
     bool wall_clock_interrupted = false;
+    /// Contained faults, appended during the serial commit in deterministic
+    /// task order (common/fault.hpp). Every exception that escaped a cone
+    /// evaluation — real or injected — lands here with its retry history;
+    /// `recovered` tells whether a later ladder rung completed or the cone
+    /// deterministically kept its original structure.
+    std::vector<FaultRecord> faults;
     std::vector<std::string> log;  ///< human-readable per-iteration notes
 };
 

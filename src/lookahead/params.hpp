@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace lls {
 
@@ -68,6 +69,17 @@ struct LookaheadParams {
     /// `engine.wall_clock_interrupts` in --metrics). Use `work_budget` for
     /// reproducible budgeted runs; keep this only as a hard upper bound.
     double time_budget_seconds = 0.0;
+
+    /// Deterministic fault-injection plan, `kind@site[:count]` specs
+    /// separated by commas (common/fault.hpp; empty = inject nothing).
+    /// Each spec fires a synthetic LlsError of `kind` whenever a cone
+    /// evaluation reaches `site` ("decompose", "spcf", "sat", "cec") on
+    /// retry-ladder rungs 0..count-1, so every recovery path is
+    /// exercisable with a reproducible schedule. A non-empty plan is mixed
+    /// into the params fingerprint (memo keys + per-cone RNG seeds);
+    /// injected runs therefore stay bit-identical across `--jobs` values
+    /// and cache states, and a run with an empty plan is untouched.
+    std::string fault_plan;
 };
 
 }  // namespace lls

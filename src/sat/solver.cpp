@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/error.hpp"
+
 namespace lls::sat {
+
+void Solver::charge_literals(std::size_t count) {
+    if (num_literals_ + count > literal_limit_)
+        throw LlsError(ErrorKind::ResourceExhausted,
+                       "SAT literal limit exceeded (" + std::to_string(literal_limit_) +
+                           " literals)",
+                       "sat");
+    num_literals_ += count;
+}
 
 int Solver::new_var() {
     const int v = num_vars();
@@ -49,6 +60,7 @@ bool Solver::add_clause(std::vector<Lit> lits) {
         return true;
     }
 
+    charge_literals(kept.size());
     clauses_.push_back(Clause{std::move(kept), false, 0.0});
     attach_clause(static_cast<int>(clauses_.size()) - 1);
     return true;
@@ -275,6 +287,8 @@ void Solver::reduce_learned() {
         kept.push_back(std::move(clauses_[i]));
     }
     clauses_ = std::move(kept);
+    num_literals_ = 0;
+    for (const auto& c : clauses_) num_literals_ += c.lits.size();
     for (int v = 0; v < num_vars(); ++v)
         if (reason_[v] != -1) reason_[v] = remap[reason_[v]];
     for (auto& ws : watches_) ws.clear();
@@ -313,6 +327,7 @@ Status Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_
                 if (lit_value(learned[0]) == 0) return Status::Unsat;
                 if (lit_value(learned[0]) == kUndef) enqueue(learned[0], -1);
             } else {
+                charge_literals(learned.size());
                 clauses_.push_back(Clause{learned, true, clause_inc_});
                 const int ci = static_cast<int>(clauses_.size()) - 1;
                 attach_clause(ci);

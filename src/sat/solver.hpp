@@ -59,6 +59,16 @@ public:
     std::int64_t num_decisions() const { return decisions_; }
     std::int64_t num_propagations() const { return propagations_; }
 
+    /// Allocation guard: total literals stored across problem and learned
+    /// clauses. Growing past the ceiling throws LlsError{ResourceExhausted}
+    /// (from add_clause or solve) instead of letting a runaway instance
+    /// OOM-kill the process; the solver itself stays usable — the exception
+    /// surfaces before the offending clause is stored. The default is
+    /// generous (hundreds of MB); tests shrink it to exercise recovery.
+    void set_literal_limit(std::size_t limit) { literal_limit_ = limit; }
+    std::size_t literal_limit() const { return literal_limit_; }
+    std::size_t num_literals() const { return num_literals_; }
+
 private:
     static constexpr int kUndef = -1;
 
@@ -90,6 +100,7 @@ private:
     void decay_activities();
     void reduce_learned();
     void attach_clause(int ci);
+    void charge_literals(std::size_t count);
     static std::int64_t luby(std::int64_t i);
 
     std::vector<Clause> clauses_;
@@ -104,6 +115,8 @@ private:
     std::vector<char> seen_;
     std::vector<char> model_;
     std::size_t qhead_ = 0;
+    std::size_t num_literals_ = 0;
+    std::size_t literal_limit_ = std::size_t{1} << 27;  // ~128M lits = 512 MB
     double var_inc_ = 1.0;
     double clause_inc_ = 1.0;
     bool unsat_ = false;

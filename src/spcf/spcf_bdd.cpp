@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bdd/aig_bdd.hpp"
+#include "common/error.hpp"
 
 namespace lls {
 
@@ -77,7 +78,8 @@ std::optional<ExactSpcf> compute_spcf_exact(const Aig& aig, std::int32_t delta,
         }
         result.manager = std::move(manager);
         return result;
-    } catch (const ContractViolation&) {
+    } catch (const LlsError& e) {
+        if (e.kind() != ErrorKind::ResourceExhausted) throw;
         return std::nullopt;  // node budget exceeded
     }
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bdd/aig_bdd.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "io/generators.hpp"
 #include "spcf/spcf.hpp"
@@ -109,16 +110,29 @@ TEST(Bdd, CountMinterms) {
 TEST(Bdd, NodeLimitIsEnforced) {
     BddManager m(16, 64);
     Rng rng(44);
-    EXPECT_THROW(
-        {
-            BddManager::Ref f = m.bdd_false();
-            for (int i = 0; i < 8; ++i) {
-                const TruthTable t = random_tt(8, rng);
-                f = m.bxor(f, bdd_from_tt(m, t.extend(16).permute({8, 9, 10, 11, 12, 13, 14, 15,
-                                                                    0, 1, 2, 3, 4, 5, 6, 7})));
-            }
-        },
-        ContractViolation);
+    bool threw = false;
+    try {
+        BddManager::Ref f = m.bdd_false();
+        for (int i = 0; i < 8; ++i) {
+            const TruthTable t = random_tt(8, rng);
+            f = m.bxor(f, bdd_from_tt(m, t.extend(16).permute({8, 9, 10, 11, 12, 13, 14, 15,
+                                                                0, 1, 2, 3, 4, 5, 6, 7})));
+        }
+    } catch (const LlsError& e) {
+        threw = true;
+        EXPECT_EQ(e.kind(), ErrorKind::ResourceExhausted);
+        EXPECT_EQ(e.stage(), "bdd");
+    }
+    EXPECT_TRUE(threw);
+}
+
+TEST(AigBdd, BddEquivalentDistinguishesNetworks) {
+    const Aig adder = ripple_carry_adder(4);
+    EXPECT_TRUE(bdd_equivalent(adder, adder));
+    Aig other = ripple_carry_adder(4);
+    other.set_po(0, !other.po(0));
+    EXPECT_FALSE(bdd_equivalent(adder, other));
+    EXPECT_THROW(bdd_equivalent(adder, adder, 4), LlsError);
 }
 
 TEST(AigBdd, NodeBddsMatchSimulation) {

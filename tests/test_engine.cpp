@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
 
 #include "cec/cec.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/metrics.hpp"
 #include "io/blif.hpp"
 #include "io/generators.hpp"
@@ -192,6 +197,271 @@ TEST(Engine, BudgetSemantics) {
     const BudgetedResult mid = run_budgeted(rca, 100, 2);
     EXPECT_TRUE(mid.budget_exhausted);
     EXPECT_LT(mid.work_units, huge.work_units);
+}
+
+// ---------------------------------------------------------------------------
+// Fault containment & recovery (PR 3)
+
+TEST(FaultPlan, GrammarRoundtrip) {
+    const FaultPlan plan = FaultPlan::parse("resource@decompose:2,solver@sat,fatal@batch:1");
+    EXPECT_EQ(plan.count_for("decompose"), 2);
+    EXPECT_EQ(plan.count_for("sat"), 1);
+    EXPECT_EQ(plan.count_for("cec"), 0);
+    EXPECT_EQ(plan.fatal_count_for("batch"), 1);
+    // engine_spec() strips fatal specs: they are CLI-level crash directives,
+    // not engine faults, and must not perturb the params fingerprint.
+    const std::string engine_spec = FaultPlan::parse(plan.engine_spec()).engine_spec();
+    EXPECT_EQ(engine_spec, plan.engine_spec());
+    EXPECT_EQ(engine_spec.find("fatal"), std::string::npos);
+    EXPECT_EQ(FaultPlan::parse("fatal@batch:1").fingerprint(), FaultPlan().fingerprint());
+
+    for (const char* bad : {"bogus@decompose", "resource", "resource@sat:x", "@sat"}) {
+        try {
+            FaultPlan::parse(bad);
+            ADD_FAILURE() << "no throw for " << bad;
+        } catch (const LlsError& e) {
+            EXPECT_EQ(e.kind(), ErrorKind::ParseError) << bad;
+        }
+    }
+}
+
+OptimizeStats run_faulted(const Aig& input, const std::string& plan, int jobs, Aig* out_aig) {
+    LookaheadParams params;
+    params.max_iterations = 6;
+    params.fault_plan = plan;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    OptimizeStats stats;
+    *out_aig = optimize_timing_engine(input, params, engine, &stats);
+    return stats;
+}
+
+TEST(Engine, FaultInjectionRecoversAtEverySiteClass) {
+    // One plan per engine injection site, each with a distinct error kind.
+    // Every run must complete, stay CEC-equivalent, and (for the sites the
+    // small adder exercises on every cone) report contained fault records.
+    const Aig rca = ripple_carry_adder(6);
+    const struct {
+        const char* plan;
+        ErrorKind kind;
+        bool always_hit;  // site reached for every cone on this input
+    } cases[] = {
+        {"resource@decompose:1", ErrorKind::ResourceExhausted, true},
+        {"invariant@spcf:1", ErrorKind::InvariantViolation, true},
+        {"solver@sat:1", ErrorKind::SolverLimit, false},
+        {"verify@cec:1", ErrorKind::VerificationFailed, false},
+    };
+    for (const auto& c : cases) {
+        Aig out;
+        const OptimizeStats stats = run_faulted(rca, c.plan, 2, &out);
+        EXPECT_TRUE(stats.verified) << c.plan;
+        EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent) << c.plan;
+        if (c.always_hit) {
+            ASSERT_FALSE(stats.faults.empty()) << c.plan;
+        }
+        for (const FaultRecord& fault : stats.faults) {
+            EXPECT_EQ(fault.kind, c.kind) << c.plan;
+            EXPECT_TRUE(fault.recovered) << c.plan << " cone " << fault.cone;
+            EXPECT_GE(fault.cone, 0) << c.plan;
+            EXPECT_FALSE(fault.retries.empty()) << c.plan;
+        }
+    }
+}
+
+TEST(Engine, FaultInjectionIsJobsInvariant) {
+    const Aig rca = ripple_carry_adder(7);
+    const std::string plan = "resource@decompose:1,verify@cec:1";
+
+    auto fingerprint = [&](int jobs) {
+        Aig out;
+        const OptimizeStats stats = run_faulted(rca, plan, jobs, &out);
+        std::stringstream aag;
+        write_aiger(aag, out);
+        std::string fp = aag.str();
+        // Fold the fault journal into the fingerprint: records must agree in
+        // order, site, and outcome — not just in count.
+        for (const FaultRecord& fault : stats.faults) {
+            fp += "|" + std::string(error_kind_name(fault.kind)) + "@" + fault.stage + "#" +
+                  std::to_string(fault.cone) + ":" + (fault.recovered ? "r" : "d");
+        }
+        return fp;
+    };
+
+    const std::string serial = fingerprint(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, fingerprint(2));
+    EXPECT_EQ(serial, fingerprint(4));
+}
+
+TEST(Engine, ExhaustedRetryLadderDegradesToOriginalCone) {
+    // count=3 poisons all three retry rungs: the cone must be kept in its
+    // original form (degraded, recovered=false) and the overall result must
+    // still verify — containment, not propagation.
+    const Aig rca = ripple_carry_adder(6);
+    Aig out;
+    const OptimizeStats stats = run_faulted(rca, "resource@decompose:3", 2, &out);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent);
+    ASSERT_FALSE(stats.faults.empty());
+    for (const FaultRecord& fault : stats.faults) {
+        EXPECT_FALSE(fault.recovered);
+        EXPECT_EQ(fault.retries.size(), 2u);  // two escalations, both poisoned
+    }
+    // Nothing decomposed successfully; any depth gain came from the
+    // conventional restructuring passes, not from lookahead commits.
+    EXPECT_EQ(stats.outputs_decomposed, 0);
+}
+
+TEST(Engine, FaultedRunsAreCacheStateInvariant) {
+    // Memo hits must replay fault records identically to cold evaluation.
+    const Aig rca = ripple_carry_adder(6);
+    clear_engine_caches();
+    Aig cold_out, warm_out;
+    const OptimizeStats cold = run_faulted(rca, "resource@decompose:1", 2, &cold_out);
+    const OptimizeStats warm = run_faulted(rca, "resource@decompose:1", 2, &warm_out);
+    EXPECT_EQ(cold_out.hash(), warm_out.hash());
+    ASSERT_EQ(cold.faults.size(), warm.faults.size());
+    for (std::size_t i = 0; i < cold.faults.size(); ++i) {
+        EXPECT_EQ(cold.faults[i].cone, warm.faults[i].cone);
+        EXPECT_EQ(cold.faults[i].stage, warm.faults[i].stage);
+        EXPECT_EQ(cold.faults[i].recovered, warm.faults[i].recovered);
+    }
+}
+
+TEST(Engine, FaultPlanDoesNotPerturbCleanRuns) {
+    // An empty plan must leave the params fingerprint — and therefore the
+    // RNG streams and memo keys — exactly as before PR 3.
+    LookaheadParams params;
+    params.max_iterations = 6;
+    const std::uint64_t clean = lookahead_params_fingerprint(params);
+    params.fault_plan = "";
+    EXPECT_EQ(lookahead_params_fingerprint(params), clean);
+    params.fault_plan = "resource@decompose:1";
+    EXPECT_NE(lookahead_params_fingerprint(params), clean);
+}
+
+TEST(Engine, BatchItemFaultBoundary) {
+    // A malformed fault plan makes every item's evaluation throw at parse
+    // time; the batch must degrade each item to its (cleaned) input instead
+    // of aborting, and report the failure on the outcome.
+    std::vector<BatchItem> items;
+    items.push_back({"rca5", ripple_carry_adder(5)});
+    items.push_back({"rca6", ripple_carry_adder(6)});
+    LookaheadParams params;
+    params.max_iterations = 4;
+    params.fault_plan = "not-a-plan";
+    EngineOptions engine;
+    engine.jobs = 2;
+    const auto outcomes = optimize_timing_batch(items, params, engine);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].failed) << outcomes[i].name;
+        EXPECT_NE(outcomes[i].error.find("fault"), std::string::npos) << outcomes[i].error;
+        EXPECT_FALSE(outcomes[i].stats.verified);
+        EXPECT_EQ(outcomes[i].output.hash(), items[i].input.cleanup().hash());
+    }
+}
+
+TEST(Engine, OnCompleteHookSeesEveryItemOnce) {
+    std::vector<BatchItem> items;
+    items.push_back({"rca5", ripple_carry_adder(5)});
+    items.push_back({"rca6", ripple_carry_adder(6)});
+    items.push_back({"rca7", ripple_carry_adder(7)});
+    LookaheadParams params;
+    params.max_iterations = 4;
+    EngineOptions engine;
+    engine.jobs = 3;
+    std::vector<int> seen(items.size(), 0);
+    const auto outcomes = optimize_timing_batch(
+        items, params, engine, [&](const BatchOutcome& outcome, std::size_t index) {
+            // The hook is mutex-serialized, so unsynchronized writes are safe.
+            ASSERT_LT(index, seen.size());
+            ++seen[index];
+            EXPECT_EQ(outcome.name, items[index].name);
+        });
+    ASSERT_EQ(outcomes.size(), items.size());
+    for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Checkpoint, JournalRoundtrip) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "lls_test_checkpoint.txt").string();
+    std::remove(path.c_str());
+
+    CheckpointEntry entry;
+    entry.name = "rca8";
+    entry.input_hash = 0xdeadbeefULL;
+    entry.params_fingerprint = 0x1234ULL;
+    entry.output_hash = checkpoint_bytes_hash("aag 1 2 3");
+    entry.final_depth = 14;
+    entry.final_ands = 493;
+    entry.failed = false;
+    {
+        BatchCheckpoint journal(path);
+        EXPECT_TRUE(journal.entries().empty());
+        journal.append(entry);
+    }
+    {
+        // Reload: the entry is found by its exact triple and nothing else.
+        BatchCheckpoint journal(path);
+        ASSERT_EQ(journal.entries().size(), 1u);
+        const CheckpointEntry* found = journal.find("rca8", 0xdeadbeefULL, 0x1234ULL);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(found->output_hash, entry.output_hash);
+        EXPECT_EQ(found->final_depth, 14);
+        EXPECT_EQ(found->final_ands, 493u);
+        // Stale entries (same name, different input or params) do not match.
+        EXPECT_EQ(journal.find("rca8", 0xdeadbeefULL, 0x9999ULL), nullptr);
+        EXPECT_EQ(journal.find("rca8", 0xbeefULL, 0x1234ULL), nullptr);
+        EXPECT_EQ(journal.find("other", 0xdeadbeefULL, 0x1234ULL), nullptr);
+
+        CheckpointEntry tabbed = entry;
+        tabbed.name = "bad\tname";
+        EXPECT_THROW(journal.append(tabbed), LlsError);
+    }
+    {
+        // A non-journal file is rejected up front, not silently re-stamped.
+        std::ofstream(path, std::ios::trunc) << "not a journal\n";
+        try {
+            BatchCheckpoint journal(path);
+            ADD_FAILURE() << "no throw on bad magic";
+        } catch (const LlsError& e) {
+            EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumedItemsMatchUninterruptedRun) {
+    // The property that makes --resume byte-identical: each batch item's
+    // output depends only on (input, params), never on which other items ran
+    // alongside it. A "resumed" batch that re-runs only the tail must produce
+    // the same bytes the full batch produced for those items.
+    std::vector<BatchItem> items;
+    items.push_back({"rca5", ripple_carry_adder(5)});
+    items.push_back({"rca6", ripple_carry_adder(6)});
+    items.push_back({"rca7", ripple_carry_adder(7)});
+    LookaheadParams params;
+    params.max_iterations = 4;
+    EngineOptions engine;
+    engine.jobs = 2;
+
+    auto aiger_of = [](const BatchOutcome& outcome) {
+        std::stringstream aag;
+        write_aiger(aag, outcome.output);
+        return aag.str();
+    };
+
+    const auto full = optimize_timing_batch(items, params, engine);
+    ASSERT_EQ(full.size(), 3u);
+
+    // Simulate a crash after item 0 was journaled: the resumed run only
+    // contains the remaining items.
+    std::vector<BatchItem> resumed_items = {items[1], items[2]};
+    const auto resumed = optimize_timing_batch(resumed_items, params, engine);
+    ASSERT_EQ(resumed.size(), 2u);
+    EXPECT_EQ(aiger_of(resumed[0]), aiger_of(full[1]));
+    EXPECT_EQ(aiger_of(resumed[1]), aiger_of(full[2]));
 }
 
 TEST(Engine, MetricsRecordRuns) {

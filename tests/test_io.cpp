@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "cec/cec.hpp"
+#include "common/error.hpp"
 #include "io/generators.hpp"
 #include "sim/simulation.hpp"
 
@@ -122,6 +123,79 @@ TEST(Blif, RejectsCycles) {
     std::stringstream ss(
         ".model t\n.inputs a\n.outputs y\n.names y a x\n11 1\n.names x a y\n11 1\n.end\n");
     EXPECT_THROW((void)read_blif(ss), std::runtime_error);
+}
+
+/// Runs read_blif on `text` and returns the diagnostic it raised.
+LlsError blif_error(const std::string& text) {
+    std::stringstream ss(text);
+    try {
+        (void)read_blif(ss);
+    } catch (const LlsError& e) {
+        return e;
+    }
+    ADD_FAILURE() << "expected read_blif to throw for:\n" << text;
+    return LlsError(ErrorKind::InvariantViolation, "did not throw");
+}
+
+TEST(Blif, DiagnosesDuplicateNamesOutput) {
+    const auto e = blif_error(
+        ".model t\n.inputs a b\n.outputs y\n"
+        ".names a b y\n11 1\n"
+        ".names a b y\n00 1\n.end\n");
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("line 6"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate driver"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+}
+
+TEST(Blif, DiagnosesNamesRedefiningInput) {
+    const auto e = blif_error(
+        ".model t\n.inputs a b\n.outputs y\n"
+        ".names b a\n1 1\n"
+        ".names a y\n1 1\n.end\n");
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("'a'"), std::string::npos) << e.what();
+}
+
+TEST(Blif, DiagnosesUndeclaredSignalReference) {
+    const auto e = blif_error(
+        ".model t\n.inputs a\n.outputs y\n"
+        ".names a ghost y\n11 1\n.end\n");
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("undeclared signal 'ghost'"), std::string::npos)
+        << e.what();
+}
+
+TEST(Blif, DiagnosesUndrivenOutput) {
+    const auto e = blif_error(".model t\n.inputs a\n.outputs a ghost\n.end\n");
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("'ghost' is never driven"), std::string::npos)
+        << e.what();
+}
+
+TEST(Blif, DiagnosesMissingEnd) {
+    const auto e = blif_error(".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n");
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("missing .end"), std::string::npos) << e.what();
+}
+
+TEST(Blif, CycleDiagnosticNamesTheSignal) {
+    const auto e = blif_error(
+        ".model t\n.inputs a\n.outputs y\n.names y a x\n11 1\n.names x a y\n11 1\n.end\n");
+    EXPECT_EQ(e.kind(), ErrorKind::ParseError);
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos) << e.what();
+}
+
+TEST(Blif, FileReaderRaisesIoErrorOnMissingFile) {
+    try {
+        (void)read_blif_file("/nonexistent/lls_no_such_file.blif");
+        FAIL() << "expected read_blif_file to throw";
+    } catch (const LlsError& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::IoError);
+    }
 }
 
 TEST(Aiger, WriteReadRoundTrip) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -29,6 +30,23 @@ TEST(ThreadPool, SubmitPropagatesExceptions) {
     ThreadPool pool(2);
     auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
     EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkersSurviveThrowingTasks) {
+    // Regression test for the worker-loop exception backstop: with a single
+    // worker, a task whose exception escaped the loop would kill the only
+    // thread and strand every later future. Throw a burst of tasks, then
+    // prove the same worker still completes real work.
+    ThreadPool pool(1);
+    std::vector<std::future<int>> throwing;
+    for (int i = 0; i < 8; ++i)
+        throwing.push_back(pool.submit([]() -> int { throw std::runtime_error("boom"); }));
+    for (auto& f : throwing) EXPECT_THROW(f.get(), std::runtime_error);
+
+    auto alive = pool.submit([] { return 7; });
+    ASSERT_EQ(alive.wait_for(std::chrono::seconds(30)), std::future_status::ready)
+        << "worker died after a throwing task";
+    EXPECT_EQ(alive.get(), 7);
 }
 
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {

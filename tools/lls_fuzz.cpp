@@ -1,17 +1,27 @@
 // lls_fuzz: randomized end-to-end robustness harness.
 //
-//   lls_fuzz [iterations] [base_seed]
+//   lls_fuzz [iterations] [base_seed] [--fault-inject SPEC]
 //
 // Each iteration generates a random circuit (random shape, PI/PO counts and
 // operator mix), pushes it through every optimization flow plus mapping and
-// the BLIF/AIGER round-trips, and verifies every step by CEC. Any failure
-// prints the reproducing seed and exits nonzero. Used before releases; the
-// unit-test suites run fixed subsets of the same checks.
+// the BLIF/AIGER round-trips, and verifies every step by CEC. Any failure —
+// a mismatch, an unresolved check, or an exception escaping a flow — writes
+// the offending generated circuit to fuzz_corpus/ as a BLIF reproducer and
+// prints the exact replay command before exiting nonzero. Used before
+// releases; the unit-test suites run fixed subsets of the same checks.
+//
+// --fault-inject forwards a deterministic fault plan (common/fault.hpp
+// grammar) into the lookahead flow, exercising the engine's containment
+// ladder under fuzz workloads: injected faults must degrade cones, never
+// break equivalence or crash the harness.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
+#include <string>
 
+#include "common/fault.hpp"
 #include "common/parse.hpp"
 
 #include "baseline/flows.hpp"
@@ -53,6 +63,29 @@ lls::Aig random_circuit(std::uint64_t seed) {
     return aig.cleanup();
 }
 
+std::string g_argv0 = "lls_fuzz";
+std::string g_fault_spec;
+
+/// Writes the generated circuit that triggered a failure to fuzz_corpus/
+/// and prints the replay command. The generator is a pure function of the
+/// seed, so the replay command regenerates the identical circuit; the BLIF
+/// file is for inspection and bug reports.
+void dump_reproducer(std::uint64_t seed, const lls::Aig& circuit) {
+    const std::string dir = "fuzz_corpus";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/seed_" + std::to_string(seed) + ".blif";
+    try {
+        lls::write_blif_file(path, circuit, "fuzz_seed_" + std::to_string(seed));
+        std::fprintf(stderr, "reproducer written: %s\n", path.c_str());
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "could not write reproducer %s: %s\n", path.c_str(), e.what());
+    }
+    std::fprintf(stderr, "replay: %s 1 %llu%s%s\n", g_argv0.c_str(),
+                 static_cast<unsigned long long>(seed),
+                 g_fault_spec.empty() ? "" : " --fault-inject ", g_fault_spec.c_str());
+}
+
 bool verify(const char* what, std::uint64_t seed, const lls::Aig& a, const lls::Aig& b) {
     const lls::CecResult cec = lls::check_equivalence(a, b, 2000000);
     if (cec.resolved && cec.equivalent) return true;
@@ -62,50 +95,43 @@ bool verify(const char* what, std::uint64_t seed, const lls::Aig& a, const lls::
     return false;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-    // Strict parsing: "lls_fuzz xyz" must be a usage error, not a 0-iteration
-    // run that "passes".
-    int iterations = 25;
-    std::uint64_t base_seed = 1000;
-    if (argc > 1 && !lls::parse_int_option("iterations", argv[1], 1, 1000000000, &iterations)) {
-        std::fprintf(stderr, "usage: %s [iterations] [base_seed]\n", argv[0]);
-        return 2;
-    }
-    if (argc > 2 && !lls::parse_u64_option("base_seed", argv[2], UINT64_MAX, &base_seed)) {
-        std::fprintf(stderr, "usage: %s [iterations] [base_seed]\n", argv[0]);
-        return 2;
-    }
-
-    for (int i = 0; i < iterations; ++i) {
-        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-        const lls::Aig circuit = random_circuit(seed);
+/// One fuzz iteration; returns false after dumping a reproducer on any
+/// failure, including an exception escaping one of the flows.
+bool run_iteration(std::uint64_t seed, const std::string& fault_plan) {
+    const lls::Aig circuit = random_circuit(seed);
+    // Every failure path funnels through here so the reproducer dump cannot
+    // be forgotten when new checks are added.
+    auto check = [&](bool ok) {
+        if (!ok) dump_reproducer(seed, circuit);
+        return ok;
+    };
+    try {
         lls::Rng rng(seed ^ 0xf00d);
 
-        if (!verify("flow_sis", seed, circuit, lls::flow_sis(circuit, rng))) return 1;
-        if (!verify("flow_abc", seed, circuit, lls::flow_abc(circuit, rng))) return 1;
-        if (!verify("flow_dc", seed, circuit, lls::flow_dc(circuit, rng))) return 1;
-        if (!verify("select_transform", seed, circuit,
-                    lls::generalized_select_transform(circuit)))
-            return 1;
-        if (!verify("redundancy", seed, circuit,
-                    lls::remove_redundancies(circuit, rng, /*max_removals=*/20)))
-            return 1;
+        if (!check(verify("flow_sis", seed, circuit, lls::flow_sis(circuit, rng)))) return false;
+        if (!check(verify("flow_abc", seed, circuit, lls::flow_abc(circuit, rng)))) return false;
+        if (!check(verify("flow_dc", seed, circuit, lls::flow_dc(circuit, rng)))) return false;
+        if (!check(verify("select_transform", seed, circuit,
+                          lls::generalized_select_transform(circuit))))
+            return false;
+        if (!check(verify("redundancy", seed, circuit,
+                          lls::remove_redundancies(circuit, rng, /*max_removals=*/20))))
+            return false;
 
         lls::LookaheadParams params;
         params.max_iterations = 4;
         params.seed = seed;
+        params.fault_plan = fault_plan;
         const lls::Aig optimized = lls::optimize_timing(circuit, params);
-        if (!verify("lookahead", seed, circuit, optimized)) return 1;
+        if (!check(verify("lookahead", seed, circuit, optimized))) return false;
 
         std::stringstream blif;
         lls::write_blif(blif, optimized, "fuzz");
-        if (!verify("blif roundtrip", seed, optimized, lls::read_blif(blif))) return 1;
+        if (!check(verify("blif roundtrip", seed, optimized, lls::read_blif(blif)))) return false;
 
         std::stringstream aag;
         lls::write_aiger(aag, optimized);
-        if (!verify("aiger roundtrip", seed, optimized, lls::read_aiger(aag))) return 1;
+        if (!check(verify("aiger roundtrip", seed, optimized, lls::read_aiger(aag)))) return false;
 
         // Mapped netlist vs AIG on a handful of random vectors.
         const lls::CellLibrary lib = lls::CellLibrary::generic_70nm();
@@ -134,13 +160,69 @@ int main(int argc, char** argv) {
                 if (outs[o] != expect) {
                     std::fprintf(stderr, "FUZZ FAILURE: mapped netlist at seed %llu\n",
                                  static_cast<unsigned long long>(seed));
-                    return 1;
+                    dump_reproducer(seed, circuit);
+                    return false;
                 }
             }
         }
         std::printf("seed %llu ok (pis=%zu ands=%zu depth=%d -> %d)\n",
                     static_cast<unsigned long long>(seed), circuit.num_pis(),
                     circuit.count_reachable_ands(), circuit.depth(), optimized.depth());
+        return true;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FUZZ FAILURE: exception at seed %llu: %s\n",
+                     static_cast<unsigned long long>(seed), e.what());
+        dump_reproducer(seed, circuit);
+        return false;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // Strict parsing: "lls_fuzz xyz" must be a usage error, not a 0-iteration
+    // run that "passes".
+    g_argv0 = argv[0];
+    const auto usage = [&]() {
+        std::fprintf(stderr, "usage: %s [iterations] [base_seed] [--fault-inject SPEC]\n",
+                     argv[0]);
+        return 2;
+    };
+    int iterations = 25;
+    std::uint64_t base_seed = 1000;
+    std::string fault_plan;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--fault-inject") {
+            if (i + 1 >= argc) return usage();
+            g_fault_spec = argv[++i];
+        } else if (positional == 0) {
+            if (!lls::parse_int_option("iterations", arg.c_str(), 1, 1000000000, &iterations))
+                return usage();
+            ++positional;
+        } else if (positional == 1) {
+            if (!lls::parse_u64_option("base_seed", arg.c_str(), UINT64_MAX, &base_seed))
+                return usage();
+            ++positional;
+        } else {
+            return usage();
+        }
+    }
+    if (!g_fault_spec.empty()) {
+        try {
+            // Canonical engine-facing form; fatal@batch specs are meaningless
+            // here (no checkpoint journal to crash against) and are stripped.
+            fault_plan = lls::FaultPlan::parse(g_fault_spec).engine_spec();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    for (int i = 0; i < iterations; ++i) {
+        const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+        if (!run_iteration(seed, fault_plan)) return 1;
     }
     std::printf("fuzz: %d iterations passed\n", iterations);
     return 0;

@@ -11,6 +11,17 @@
 //                                 budgeted runs are bit-identical across --jobs
 //   --batch                       optimize every input concurrently (--jobs)
 //   --out-dir DIR                 batch mode: write DIR/<input> per circuit
+//   --checkpoint FILE             batch mode: journal each completed circuit to
+//                                 FILE (flush-and-throw); with --resume, skip
+//                                 circuits already journaled under the same
+//                                 input hash + params fingerprint
+//   --resume                      resume an interrupted --checkpoint batch
+//   --fault-inject SPEC           deterministic fault injection, SPEC =
+//                                 kind@site[:count][,...]; kinds parse|resource|
+//                                 solver|verify|invariant|io fire synthetic
+//                                 LlsErrors at engine sites (decompose|spcf|
+//                                 sat|cec); fatal@batch:N kills the process
+//                                 after N journaled circuits (crash simulation)
 //   --no-verify                   skip the final equivalence check
 //   --map                         print a technology-mapping report
 //   --aiger PATH                  also dump the result as ASCII AIGER
@@ -24,13 +35,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/parse.hpp"
 #include "common/stopwatch.hpp"
+#include "engine/checkpoint.hpp"
 #include "engine/engine.hpp"
 #include "engine/metrics.hpp"
 #include "io/blif.hpp"
@@ -45,9 +62,11 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N]\n"
-                 "          [--work-budget N] [--no-verify] [--map] [--aiger PATH]\n"
-                 "          [--verilog PATH] [--stats] [--metrics] <input.blif> [output.blif]\n"
-                 "       %s --batch [options] [--out-dir DIR] <input.blif> [input2.blif ...]\n",
+                 "          [--work-budget N] [--fault-inject SPEC] [--no-verify] [--map]\n"
+                 "          [--aiger PATH] [--verilog PATH] [--stats] [--metrics]\n"
+                 "          <input.blif> [output.blif]\n"
+                 "       %s --batch [options] [--out-dir DIR] [--checkpoint FILE] [--resume]\n"
+                 "          <input.blif> [input2.blif ...]\n",
                  argv0, argv0);
     return 2;
 }
@@ -57,17 +76,34 @@ std::string basename_of(const std::string& path) {
     return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
+/// One-line report of every contained fault of a finished run.
+void print_fault_summary(const char* name, const lls::OptimizeStats& stats) {
+    if (stats.faults.empty()) return;
+    std::size_t recovered = 0;
+    for (const auto& f : stats.faults) recovered += f.recovered ? 1 : 0;
+    std::printf("%s: %zu fault(s) contained (%zu recovered, %zu cones kept original)\n", name,
+                stats.faults.size(), recovered, stats.faults.size() - recovered);
+    for (const auto& f : stats.faults)
+        std::printf("  fault [%s/%s] cone %d (%s): %s%s\n", lls::error_kind_name(f.kind),
+                    f.stage.c_str(), f.cone, f.cone_name.c_str(),
+                    f.recovered ? "recovered" : "degraded",
+                    f.retries.empty() ? "" : (" after " + std::to_string(f.retries.size()) +
+                                              " retry rung(s)")
+                                                 .c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string flow = "lookahead";
     std::vector<std::string> inputs;
     std::string output_path, aiger_path, verilog_path, out_dir;
+    std::string fault_spec, checkpoint_path;
     int iterations = 10;
     int jobs = 1;
     std::uint64_t work_budget = 0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
-    bool batch = false;
+    bool batch = false, resume = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -85,6 +121,12 @@ int main(int argc, char** argv) {
             batch = true;
         } else if (arg == "--out-dir" && i + 1 < argc) {
             out_dir = argv[++i];
+        } else if (arg == "--checkpoint" && i + 1 < argc) {
+            checkpoint_path = argv[++i];
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--fault-inject" && i + 1 < argc) {
+            fault_spec = argv[++i];
         } else if (arg == "--no-verify") {
             verify = false;
         } else if (arg == "--map") {
@@ -117,6 +159,27 @@ int main(int argc, char** argv) {
     lls::EngineOptions engine;
     engine.jobs = jobs;
 
+    // Fault injection: engine-site specs are forwarded through the params
+    // (they are part of what the evaluations compute); `fatal@batch:N` is a
+    // CLI-level crash simulation and is stripped here — it must not perturb
+    // the params fingerprint, or a resumed run could never match an
+    // uninterrupted one.
+    int fatal_after = 0;
+    if (!fault_spec.empty()) {
+        try {
+            const lls::FaultPlan plan = lls::FaultPlan::parse(fault_spec);
+            params.fault_plan = plan.engine_spec();
+            fatal_after = plan.fatal_count_for("batch");
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: bad --fault-inject spec: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (resume && checkpoint_path.empty()) {
+        std::fprintf(stderr, "error: --resume requires --checkpoint FILE\n");
+        return 2;
+    }
+
     // ---- batch mode: many circuits, one pool -------------------------------
     if (batch) {
         if (flow != "lookahead") {
@@ -141,29 +204,73 @@ int main(int argc, char** argv) {
                 return 1;
             }
         }
+
+        // Checkpoint journal: a fresh --checkpoint run starts a new journal
+        // (any stale one is discarded); --resume keeps it and skips every
+        // item already journaled under the same input hash and params
+        // fingerprint — those outputs are already on disk, byte-identical
+        // to what re-running would produce.
+        std::unique_ptr<lls::BatchCheckpoint> checkpoint;
+        std::uint64_t params_fp = 0;
+        std::size_t skipped = 0;
+        if (!checkpoint_path.empty()) {
+            try {
+                params_fp = lls::lookahead_params_fingerprint(params);
+                if (!resume) std::remove(checkpoint_path.c_str());
+                checkpoint = std::make_unique<lls::BatchCheckpoint>(checkpoint_path);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "error: checkpoint %s: %s\n", checkpoint_path.c_str(),
+                             e.what());
+                return 1;
+            }
+            if (resume) {
+                std::vector<lls::BatchItem> pending;
+                for (auto& item : items) {
+                    if (checkpoint->find(item.name, item.input.cleanup().hash(), params_fp)) {
+                        std::printf("%s: skipped (already journaled)\n", item.name.c_str());
+                        ++skipped;
+                    } else {
+                        pending.push_back(std::move(item));
+                    }
+                }
+                items = std::move(pending);
+            }
+        }
+
         lls::Stopwatch sw;
-        const auto outcomes = lls::optimize_timing_batch(items, params, engine);
         int exit_code = 0;
-        for (std::size_t i = 0; i < outcomes.size(); ++i) {
-            const auto& r = outcomes[i];
+        std::size_t journaled = 0;
+        // Runs under the batch's completion mutex: per-item verification,
+        // output writing, journaling, and (last) the simulated crash of
+        // `fatal@batch:N` — the journal line is durable before the process
+        // dies, exactly like a real mid-batch crash after a flush.
+        auto on_complete = [&](const lls::BatchOutcome& r, std::size_t i) {
             std::printf("%s: depth %d -> %d, %zu -> %zu AND nodes (%.2fs)\n", r.name.c_str(),
                         r.stats.initial_depth, r.stats.final_depth, r.stats.initial_ands,
                         r.stats.final_ands, r.seconds);
+            if (r.failed) {
+                std::fprintf(stderr, "%s: optimization failed, output kept original: %s\n",
+                             r.name.c_str(), r.error.c_str());
+                exit_code = 1;
+            }
+            print_fault_summary(r.name.c_str(), r.stats);
             if (work_budget > 0)
                 std::printf("%s: work budget spent %llu of %llu units%s\n", r.name.c_str(),
                             static_cast<unsigned long long>(r.stats.work_units),
                             static_cast<unsigned long long>(work_budget),
                             r.stats.budget_exhausted ? " (exhausted)" : "");
-            if (verify) {
+            if (verify && !r.failed) {
                 const lls::CecResult cec =
                     lls::check_equivalence(items[i].input, r.output, 4000000);
                 if (!cec.resolved || !cec.equivalent) {
                     std::fprintf(stderr, "%s: equivalence check %s\n", r.name.c_str(),
                                  cec.resolved ? "FAILED" : "UNRESOLVED");
                     exit_code = 1;
-                    continue;
+                    return;
                 }
             }
+            std::ostringstream bytes;
+            lls::write_blif(bytes, r.output, "lls_opt");
             if (!out_dir.empty()) {
                 const std::string out_path = out_dir + "/" + basename_of(r.name);
                 try {
@@ -172,11 +279,34 @@ int main(int argc, char** argv) {
                 } catch (const std::exception& e) {
                     std::fprintf(stderr, "error writing %s: %s\n", out_path.c_str(), e.what());
                     exit_code = 1;
+                    return;  // an unwritten output must not be journaled as done
                 }
             }
-        }
-        std::printf("batch: %zu circuits, %d jobs, %.2fs wall clock\n", outcomes.size(), jobs,
-                    sw.elapsed_seconds());
+            if (checkpoint) {
+                lls::CheckpointEntry entry;
+                entry.name = r.name;
+                entry.input_hash = items[i].input.cleanup().hash();
+                entry.params_fingerprint = params_fp;
+                entry.output_hash = lls::checkpoint_bytes_hash(bytes.str());
+                entry.final_depth = r.stats.final_depth;
+                entry.final_ands = r.stats.final_ands;
+                entry.failed = r.failed;
+                checkpoint->append(entry);  // flush-and-throw
+                ++journaled;
+                if (fatal_after > 0 && journaled >= static_cast<std::size_t>(fatal_after)) {
+                    std::fprintf(stderr, "fault-inject: simulated crash after %zu journaled "
+                                         "circuit(s)\n",
+                                 journaled);
+                    std::fflush(nullptr);
+                    std::_Exit(42);
+                }
+            }
+        };
+
+        const auto outcomes = lls::optimize_timing_batch(items, params, engine, on_complete);
+        std::printf("batch: %zu circuits (%zu skipped via checkpoint), %d jobs, %.2fs wall "
+                    "clock\n",
+                    outcomes.size() + skipped, skipped, jobs, sw.elapsed_seconds());
         if (print_metrics) lls::Metrics::global().report(stdout);
         return exit_code;
     }
@@ -205,7 +335,15 @@ int main(int argc, char** argv) {
     } else if (flow == "dc") {
         optimized = lls::flow_dc(circuit, rng);
     } else if (flow == "lookahead") {
-        optimized = lls::optimize_timing_engine(circuit, params, engine, &stats);
+        try {
+            optimized = lls::optimize_timing_engine(circuit, params, engine, &stats);
+        } catch (const std::exception& e) {
+            // Per-cone faults are contained inside the engine; anything
+            // reaching here is an entry error (e.g. a malformed fault plan)
+            // or an unrecoverable failure — report, never abort().
+            std::fprintf(stderr, "error: optimization failed: %s\n", e.what());
+            return 1;
+        }
     } else {
         return usage(argv[0]);
     }
@@ -221,6 +359,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "warning: wall-clock budget fired; this result is timing-dependent "
                      "(use --work-budget for deterministic budgeted runs)\n");
+    print_fault_summary(input_path.c_str(), stats);
     if (print_stats)
         for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());
     if (print_metrics) lls::Metrics::global().report(stdout);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # run_checks.sh: tier-1 tests in the default configuration, a budgeted
 # determinism check of the CLI (same circuit + work budget at several
-# --jobs values must produce byte-identical outputs), then the
+# --jobs values must produce byte-identical outputs), fault-injection and
+# checkpoint/resume checks of the containment subsystem, then the
 # concurrency-sensitive engine/parse/io tests under ThreadSanitizer.
 #
 #   tools/run_checks.sh [--skip-tsan]
@@ -10,6 +11,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+REPO="$PWD"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 SKIP_TSAN=0
 [[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
@@ -36,12 +38,57 @@ for circuit in tests/data/rca16.blif tests/data/control24.blif; do
     echo "$name: budgeted outputs identical for --jobs 1/2/4"
 done
 
+echo "== stage 3: fault injection never aborts and stays jobs-invariant =="
+# Every engine site class, injected on the regression circuits: the run must
+# exit 0 (contained, not crashed), verify equivalence, and produce the same
+# bytes at every --jobs value. Plus a short fuzz run with injection enabled.
+for spec in resource@decompose:1 invariant@spcf:1 solver@sat:1 verify@cec:1 \
+            resource@decompose:3; do
+    for circuit in tests/data/rca16.blif tests/data/control24.blif; do
+        name="$(basename "$circuit" .blif)"
+        tag="${spec//[@:]/_}"
+        for j in 1 2 4; do
+            ./build/tools/lls_opt --fault-inject "$spec" --jobs "$j" --iterations 6 \
+                "$circuit" "$WORKDIR/$name.$tag.j$j.blif" > /dev/null
+        done
+        cmp "$WORKDIR/$name.$tag.j1.blif" "$WORKDIR/$name.$tag.j2.blif"
+        cmp "$WORKDIR/$name.$tag.j1.blif" "$WORKDIR/$name.$tag.j4.blif"
+        echo "$name: $spec contained, outputs identical for --jobs 1/2/4"
+    done
+done
+# From inside WORKDIR so a failure's fuzz_corpus/ lands in the temp dir.
+(cd "$WORKDIR" && "$REPO/build/tools/lls_fuzz" 3 4242 --fault-inject resource@decompose:1)
+# The fault-injection + checkpoint unit tests again under AddressSanitizer:
+# the recovery ladder's throw/catch/degrade paths must be leak- and
+# corruption-free, not just functionally right.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target test_engine
+(cd build-asan && ctest -R 'test_engine' --output-on-failure)
+
+echo "== stage 4: interrupted checkpoint + resume is byte-identical =="
+# Run the batch uninterrupted; then crash it (simulated, exit 42) after one
+# journaled circuit and resume from the checkpoint. The resumed outputs must
+# match the uninterrupted ones byte for byte.
+./build/tools/lls_opt --batch tests/data/rca16.blif tests/data/control24.blif \
+    --out-dir "$WORKDIR/full" --jobs 2 > /dev/null
+rc=0
+./build/tools/lls_opt --batch tests/data/rca16.blif tests/data/control24.blif \
+    --out-dir "$WORKDIR/resumed" --jobs 2 --checkpoint "$WORKDIR/ckpt.txt" \
+    --fault-inject fatal@batch:1 > /dev/null 2>&1 || rc=$?
+[[ "$rc" == 42 ]] || { echo "expected simulated crash exit 42, got $rc"; exit 1; }
+./build/tools/lls_opt --batch tests/data/rca16.blif tests/data/control24.blif \
+    --out-dir "$WORKDIR/resumed" --jobs 2 --checkpoint "$WORKDIR/ckpt.txt" \
+    --resume > /dev/null
+cmp "$WORKDIR/full/rca16.blif" "$WORKDIR/resumed/rca16.blif"
+cmp "$WORKDIR/full/control24.blif" "$WORKDIR/resumed/control24.blif"
+echo "checkpoint/resume outputs identical to uninterrupted run"
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
-    echo "== stage 3: skipped (--skip-tsan) =="
+    echo "== stage 5: skipped (--skip-tsan) =="
     exit 0
 fi
 
-echo "== stage 3: engine tests under ThreadSanitizer =="
+echo "== stage 5: engine tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target test_thread_pool test_engine test_parse test_io
 (cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io' --output-on-failure)
