@@ -3,39 +3,139 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "engine/metrics.hpp"
 
 namespace lls {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+/// Computed-table capacity for a given node limit: lossy by design, the
+/// table never outgrows this, fixing the unbounded growth of the old
+/// per-manager std::unordered_map. Half the node limit (clamped) keeps the
+/// table proportional to the function sizes the manager can represent.
+std::size_t ite_cache_slots(std::size_t node_limit) {
+    return next_pow2(std::clamp<std::size_t>(node_limit / 2, std::size_t{1} << 10,
+                                             std::size_t{1} << 20));
+}
+
+}  // namespace
 
 BddManager::BddManager(int num_vars, std::size_t node_limit)
     : num_vars_(num_vars), node_limit_(node_limit) {
     LLS_REQUIRE(num_vars >= 0 && num_vars < (1 << 20));
     LLS_REQUIRE(node_limit <= (std::size_t{1} << 22) && "ref packing requires refs < 2^22");
-    nodes_.push_back(Node{num_vars_, kFalse, kFalse});  // FALSE terminal
-    nodes_.push_back(Node{num_vars_, kTrue, kTrue});    // TRUE terminal
-    var_refs_.assign(static_cast<std::size_t>(num_vars), kFalse);
+    ite_cache_.assign(ite_cache_slots(node_limit), IteEntry{});
+    ite_mask_ = ite_cache_.size() - 1;
+    var_refs_ = std::vector<std::atomic<Ref>>(static_cast<std::size_t>(num_vars));
+    for (auto& ref : var_refs_) ref.store(kFalse, std::memory_order_relaxed);
+    // Terminals live at the head of block 0 and use var = num_vars_ (below
+    // every real variable in the order).
+    store_word(kFalse, pack(num_vars_, kFalse, kFalse));
+    store_word(kTrue, pack(num_vars_, kTrue, kTrue));
+    num_nodes_.store(2, std::memory_order_release);
+}
+
+BddManager::~BddManager() {
+    // Aggregate this manager's counters into the process-wide registry so
+    // `lls_opt --metrics` reports BDD work no matter how many managers
+    // (shared or private) the run created.
+    const BddStats s = stats();
+    Metrics& metrics = Metrics::global();
+    if (s.unique_hits) metrics.counter("bdd.unique.hits").add(s.unique_hits);
+    if (s.nodes_created) metrics.counter("bdd.unique.nodes").add(s.nodes_created);
+    if (s.ite_hits) metrics.counter("bdd.ite_cache.hits").add(s.ite_hits);
+    if (s.ite_misses) metrics.counter("bdd.ite_cache.misses").add(s.ite_misses);
+    if (s.ite_evictions) metrics.counter("bdd.ite_cache.evictions").add(s.ite_evictions);
+    for (auto& block : blocks_) delete[] block.load(std::memory_order_acquire);
+}
+
+void BddManager::store_word(std::size_t index, std::uint64_t word) {
+    auto& slot = blocks_[index >> kBlockBits];
+    std::uint64_t* block = slot.load(std::memory_order_acquire);
+    if (!block) {
+        const std::lock_guard<std::mutex> lock(block_mutex_);
+        block = slot.load(std::memory_order_acquire);
+        if (!block) {
+            block = new std::uint64_t[kBlockSize]();
+            slot.store(block, std::memory_order_release);
+        }
+    }
+    block[index & (kBlockSize - 1)] = word;
 }
 
 BddManager::Ref BddManager::make_node(int var, Ref low, Ref high) {
     if (low == high) return low;
-    const std::uint64_t key = (static_cast<std::uint64_t>(var) << 44) |
-                              (static_cast<std::uint64_t>(low) << 22) |
-                              static_cast<std::uint64_t>(high);
-    if (const auto it = unique_.find(key); it != unique_.end()) return it->second;
-    if (nodes_.size() >= node_limit_)
+    const std::uint64_t key = pack(var, low, high);
+    Shard& shard = shards_[U64Hash{}(key) % kShards];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+        unique_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+    }
+    // Global accounting: the aggregate count across all shards decides
+    // exhaustion, so the threshold is the same number on every shard
+    // distribution and thread schedule.
+    const std::size_t index = num_nodes_.fetch_add(1, std::memory_order_acq_rel);
+    if (index >= node_limit_) {
+        num_nodes_.fetch_sub(1, std::memory_order_acq_rel);
         throw LlsError(ErrorKind::ResourceExhausted,
                        "BDD node limit exceeded (" + std::to_string(node_limit_) + " nodes)",
                        "bdd");
-    const Ref ref = static_cast<Ref>(nodes_.size());
-    nodes_.push_back(Node{var, low, high});
-    unique_.emplace(key, ref);
+    }
+    store_word(index, key);
+    const Ref ref = static_cast<Ref>(index);
+    shard.map.emplace(key, ref);
+    nodes_created_.fetch_add(1, std::memory_order_relaxed);
     return ref;
 }
 
 BddManager::Ref BddManager::variable(int var) {
     LLS_REQUIRE(var >= 0 && var < num_vars_);
     auto& cached = var_refs_[static_cast<std::size_t>(var)];
-    if (cached == kFalse) cached = make_node(var, kFalse, kTrue);
-    return cached;
+    Ref ref = cached.load(std::memory_order_acquire);
+    if (ref == kFalse) {
+        // Benign race: make_node is canonical, so concurrent creators store
+        // the identical ref.
+        ref = make_node(var, kFalse, kTrue);
+        cached.store(ref, std::memory_order_release);
+    }
+    return ref;
+}
+
+std::size_t BddManager::ite_index(Ref f, Ref g, Ref h) const {
+    std::uint64_t k = f;
+    k = k * 0x100000001b3ULL ^ g;
+    k = k * 0x100000001b3ULL ^ h;
+    k *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(k ^ (k >> 31)) & ite_mask_;
+}
+
+bool BddManager::ite_cache_get(Ref f, Ref g, Ref h, Ref* result) {
+    const std::size_t index = ite_index(f, g, h);
+    const std::lock_guard<std::mutex> lock(ite_mutex_[index & (kIteStripes - 1)]);
+    const IteEntry& entry = ite_cache_[index];
+    if (entry.f == f && entry.g == g && entry.h == h) {
+        ite_hits_.fetch_add(1, std::memory_order_relaxed);
+        *result = entry.result;
+        return true;
+    }
+    ite_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void BddManager::ite_cache_put(Ref f, Ref g, Ref h, Ref result) {
+    const std::size_t index = ite_index(f, g, h);
+    const std::lock_guard<std::mutex> lock(ite_mutex_[index & (kIteStripes - 1)]);
+    IteEntry& entry = ite_cache_[index];
+    if (entry.f != kFalse && !(entry.f == f && entry.g == g && entry.h == h))
+        ite_evictions_.fetch_add(1, std::memory_order_relaxed);
+    entry = IteEntry{f, g, h, result};
 }
 
 BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
@@ -45,29 +145,31 @@ BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
     if (g == h) return g;
     if (g == kTrue && h == kFalse) return f;
 
-    const IteKey key{f, g, h};
-    if (const auto it = computed_.find(key); it != computed_.end()) return it->second;
+    Ref cached;
+    if (ite_cache_get(f, g, h, &cached)) return cached;
 
-    const int top = std::min({var_of(f), var_of(g), var_of(h)});
-    auto cof = [&](Ref x, bool hi) {
-        if (var_of(x) != top) return x;
-        return hi ? nodes_[x].high : nodes_[x].low;
+    const std::uint64_t wf = node_word(f), wg = node_word(g), wh = node_word(h);
+    const int top = std::min({word_var(wf), word_var(wg), word_var(wh)});
+    auto cof = [top](Ref x, std::uint64_t wx, bool hi) {
+        if (word_var(wx) != top) return x;
+        return hi ? word_high(wx) : word_low(wx);
     };
-    const Ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
-    const Ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
+    const Ref lo = ite(cof(f, wf, false), cof(g, wg, false), cof(h, wh, false));
+    const Ref hi = ite(cof(f, wf, true), cof(g, wg, true), cof(h, wh, true));
     const Ref result = make_node(top, lo, hi);
-    computed_.emplace(key, result);
+    ite_cache_put(f, g, h, result);
     return result;
 }
 
 BddManager::Ref BddManager::cofactor(Ref f, int var, bool value) {
     LLS_REQUIRE(var >= 0 && var < num_vars_);
-    if (var_of(f) > var) return f;  // f does not depend on var (order!)
-    if (var_of(f) == var) return value ? nodes_[f].high : nodes_[f].low;
+    const std::uint64_t wf = node_word(f);
+    if (word_var(wf) > var) return f;  // f does not depend on var (order!)
+    if (word_var(wf) == var) return value ? word_high(wf) : word_low(wf);
     // var is below f's top variable: rebuild via ite on restricted children.
-    const Ref lo = cofactor(nodes_[f].low, var, value);
-    const Ref hi = cofactor(nodes_[f].high, var, value);
-    return ite(variable(var_of(f)), hi, lo);
+    const Ref lo = cofactor(word_low(wf), var, value);
+    const Ref hi = cofactor(word_high(wf), var, value);
+    return ite(variable(word_var(wf)), hi, lo);
 }
 
 BddManager::Ref BddManager::exists(Ref f, int var) {
@@ -80,8 +182,8 @@ BddManager::Ref BddManager::forall(Ref f, int var) {
 
 bool BddManager::evaluate(Ref f, std::uint64_t assignment) const {
     while (f > kTrue) {
-        const Node& n = nodes_[f];
-        f = ((assignment >> n.var) & 1) ? n.high : n.low;
+        const std::uint64_t w = node_word(f);
+        f = ((assignment >> word_var(w)) & 1) ? word_high(w) : word_low(w);
     }
     return f == kTrue;
 }
@@ -99,15 +201,16 @@ double BddManager::count_minterms(Ref f) const {
             stack.pop_back();
             continue;
         }
-        const Node& n = nodes_[r];
-        const bool lo_done = fraction.count(n.low);
-        const bool hi_done = fraction.count(n.high);
+        const std::uint64_t w = node_word(r);
+        const Ref low = word_low(w), high = word_high(w);
+        const bool lo_done = fraction.count(low);
+        const bool hi_done = fraction.count(high);
         if (lo_done && hi_done) {
-            fraction[r] = 0.5 * fraction[n.low] + 0.5 * fraction[n.high];
+            fraction[r] = 0.5 * fraction[low] + 0.5 * fraction[high];
             stack.pop_back();
         } else {
-            if (!lo_done) stack.push_back(n.low);
-            if (!hi_done) stack.push_back(n.high);
+            if (!lo_done) stack.push_back(low);
+            if (!hi_done) stack.push_back(high);
         }
     }
     double scale = 1.0;
@@ -125,10 +228,21 @@ std::size_t BddManager::size(Ref f) const {
         if (r <= kTrue || seen.count(r)) continue;
         seen[r] = true;
         ++count;
-        stack.push_back(nodes_[r].low);
-        stack.push_back(nodes_[r].high);
+        const std::uint64_t w = node_word(r);
+        stack.push_back(word_low(w));
+        stack.push_back(word_high(w));
     }
     return count;
+}
+
+BddStats BddManager::stats() const {
+    BddStats s;
+    s.unique_hits = unique_hits_.load(std::memory_order_relaxed);
+    s.nodes_created = nodes_created_.load(std::memory_order_relaxed);
+    s.ite_hits = ite_hits_.load(std::memory_order_relaxed);
+    s.ite_misses = ite_misses_.load(std::memory_order_relaxed);
+    s.ite_evictions = ite_evictions_.load(std::memory_order_relaxed);
+    return s;
 }
 
 }  // namespace lls

@@ -12,6 +12,7 @@
 
 #include "aig/aig_build.hpp"
 #include "baseline/restructure.hpp"
+#include "bdd/bdd.hpp"
 #include "cec/cec.hpp"
 #include "common/budget.hpp"
 #include "common/error.hpp"
@@ -156,6 +157,19 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     Rng rng(params.seed);
     const Aig original = input.cleanup();
 
+    // Run-wide shared BDD manager (the substrate of the rung-2 exact
+    // verification): one concurrency-safe manager every worker builds
+    // into, so identical subgraphs are constructed once per run instead of
+    // once per cone per worker. Sized to the full pool cap — exhaustion is
+    // a safety rail, not a routine boundary, and the decompose hook falls
+    // back to a private manager when it fires. Circuits beyond the
+    // manager's variable-packing range simply run without one — exactly
+    // the inputs whose cones exact verification could never build anyway.
+    std::shared_ptr<BddManager> shared_bdd;
+    if (engine.shared_bdd && original.num_pis() < (std::size_t{1} << 20))
+        shared_bdd = std::make_shared<BddManager>(static_cast<int>(original.num_pis()),
+                                                  /*node_limit=*/std::size_t{1} << 22);
+
     // Deterministic work budget: charged only at serial points with the
     // per-cone costs of each round's evaluations, so `budget.exhausted()`
     // is a pure function of work performed — identical on every thread
@@ -231,6 +245,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 DecomposeHooks hooks;
                 hooks.faults = &fault_context;
                 hooks.exact_verify = rung == 2;
+                hooks.shared_bdd = shared_bdd.get();
                 Rng cone_rng(hash_mix(fingerprint, cone_hash));
                 try {
                     if (auto outcome =

@@ -27,6 +27,19 @@ struct EngineOptions {
     /// Consult/populate the process-wide decomposition memo (keyed by cone
     /// structural hash + parameter fingerprint) and the CEC verdict memo.
     bool use_result_cache = true;
+
+    /// Share one concurrency-safe BddManager across the run's workers for
+    /// the exact-verification rung (and any other BDD-exact work), instead
+    /// of rebuilding identical subgraphs in per-call private managers.
+    /// Refs are canonical and the resource boundary falls back to a
+    /// private manager, so results match the private-manager baseline on
+    /// every run that doesn't exhaust the shared pool mid-verification;
+    /// the one divergence is benign and one-sided — a warm shared pool can
+    /// complete an exact verify the cold private limit would abandon, so
+    /// rung 2 may recover strictly more cones (see docs/ENGINE.md,
+    /// "Shared BDD manager"). CLI escape hatch: `lls_opt --shared-bdd
+    /// off`.
+    bool shared_bdd = true;
 };
 
 /// The paper's timing-driven flow, executed by the concurrent engine: each

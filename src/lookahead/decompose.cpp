@@ -9,6 +9,8 @@
 #include "bdd/aig_bdd.hpp"
 #include "cec/cec.hpp"
 #include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "engine/metrics.hpp"
 #include "lookahead/reduce.hpp"
 #include "lookahead/simplify.hpp"
 #include "network/network.hpp"
@@ -273,8 +275,27 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     if (hooks.faults) hooks.faults->check("cec", "cec");
     if (hooks.exact_verify) {
         // Last-resort rung of the engine's retry ladder: canonical BDDs
-        // decide equivalence exactly instead of bounding SAT effort.
-        if (!bdd_equivalent(result, cone, hooks.exact_verify_bdd_limit)) return std::nullopt;
+        // decide equivalence exactly instead of bounding SAT effort. The
+        // shared run-wide manager is tried first (cross-cone/cross-worker
+        // subgraph reuse); its global pool running dry falls back to a
+        // private manager so the resource boundary stays a pure function
+        // of (cone, params) rather than of the thread schedule.
+        bool equivalent = false;
+        bool decided = false;
+        if (hooks.shared_bdd &&
+            static_cast<int>(result.num_pis()) <= hooks.shared_bdd->num_vars()) {
+            try {
+                equivalent = bdd_equivalent(result, cone, *hooks.shared_bdd);
+                decided = true;
+            } catch (const LlsError& e) {
+                if (e.kind() != ErrorKind::ResourceExhausted) throw;
+                static MetricCounter& fallbacks =
+                    Metrics::global().counter("bdd.shared.exact_verify_fallbacks");
+                fallbacks.add();
+            }
+        }
+        if (!decided) equivalent = bdd_equivalent(result, cone, hooks.exact_verify_bdd_limit);
+        if (!equivalent) return std::nullopt;
     } else {
         const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000, &cost);
         if (!cec.resolved || !cec.equivalent) return std::nullopt;

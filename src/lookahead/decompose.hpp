@@ -4,6 +4,7 @@
 #include <string>
 
 #include "aig/aig.hpp"
+#include "bdd/bdd.hpp"
 #include "common/budget.hpp"
 #include "common/fault.hpp"
 #include "common/rng.hpp"
@@ -21,10 +22,22 @@ namespace lls {
 /// from SAT-based CEC to canonical-BDD comparison — the engine's
 /// last-resort verification rung when the SAT solver keeps hitting its
 /// effort limit.
+///
+/// `shared_bdd` (optional) is the engine's run-wide concurrency-safe
+/// manager: when set and the cone fits its variable count, the exact
+/// verification builds in it, reusing subgraphs other cones and workers
+/// already constructed instead of rebuilding them per call. If the shared
+/// pool's global node limit is exhausted mid-verification the rung falls
+/// back to a *private* manager bounded by `exact_verify_bdd_limit`, so a
+/// crowded pool can never flip a verdict the private manager would reach —
+/// at worst the warm pool *completes* a verification the cold private
+/// limit would abandon, which recovers strictly more cones and is always
+/// an exact verdict (docs/ENGINE.md, "Shared BDD manager").
 struct DecomposeHooks {
     const FaultContext* faults = nullptr;
     bool exact_verify = false;
     std::size_t exact_verify_bdd_limit = std::size_t{1} << 21;
+    BddManager* shared_bdd = nullptr;
 };
 
 /// Result of one level of lookahead decomposition on a single-output cone.

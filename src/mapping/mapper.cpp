@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/metrics.hpp"
 #include "mapping/netlist.hpp"
 #include "sim/simulation.hpp"
 
@@ -9,6 +10,8 @@ namespace lls {
 
 MappedCircuit map_circuit(const Aig& aig, const CellLibrary& library,
                           const MapperOptions& options) {
+    static MetricTimer& mapping_timer = Metrics::global().timer("mapping.map");
+    const ScopedTimer timer_scope(mapping_timer);
     const Netlist netlist = map_to_netlist(aig, library, options.cut_size, options.max_cuts);
 
     MappedCircuit result;

@@ -7,6 +7,7 @@
 #include "aig/aig_build.hpp"
 #include "aig/cuts.hpp"
 #include "common/bitops.hpp"
+#include "engine/metrics.hpp"
 
 namespace lls {
 
@@ -186,6 +187,8 @@ std::vector<std::uint32_t> Network::critical_fanins(std::uint32_t node,
 }
 
 Network Network::from_aig(const Aig& aig, int cut_size, int max_cuts) {
+    static MetricTimer& clustering_timer = Metrics::global().timer("network.clustering");
+    const ScopedTimer timer_scope(clustering_timer);
     const CutEnumerator cuts(aig, cut_size, max_cuts);
 
     // Depth-oriented best-cut choice per AND node.

@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/bitops.hpp"
+#include "engine/metrics.hpp"
 
 namespace lls {
 
 Spcf compute_spcf(const Aig& aig, const SimPatterns& patterns,
                   const std::vector<Signature>& node_sigs, std::int32_t delta) {
+    static MetricTimer& spcf_timer = Metrics::global().timer("spcf.compute");
+    const ScopedTimer timer_scope(spcf_timer);
     const TimingSimResult timing = timing_simulate(aig, patterns, node_sigs);
 
     Spcf spcf;

@@ -1,0 +1,201 @@
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tt/truth_table.hpp"
+
+namespace lls {
+namespace {
+
+// Concurrency stress suite for the shared BddManager. Everything here is
+// meant to run under TSan (tools/run_checks.sh stage 5) as well as in the
+// plain build: the assertions check the canonicity contract — identical
+// functions yield identical refs no matter which thread built them first —
+// and the shared-resource boundaries (global node limit, lossy computed
+// table).
+
+TruthTable random_tt(int num_vars, Rng& rng) {
+    TruthTable tt(num_vars);
+    for (std::uint64_t m = 0; m < tt.num_minterms(); ++m) tt.set_bit(m, rng.next_bool());
+    return tt;
+}
+
+BddManager::Ref bdd_from_tt(BddManager& m, const TruthTable& tt) {
+    BddManager::Ref f = m.bdd_false();
+    for (std::uint64_t minterm = 0; minterm < tt.num_minterms(); ++minterm) {
+        if (!tt.get_bit(minterm)) continue;
+        BddManager::Ref cube = m.bdd_true();
+        for (int v = 0; v < tt.num_vars(); ++v) {
+            const BddManager::Ref x = m.variable(v);
+            cube = m.band(cube, ((minterm >> v) & 1) ? x : m.bnot(x));
+        }
+        f = m.bor(f, cube);
+    }
+    return f;
+}
+
+// N threads build the *same* function set in one shared manager. Canonicity
+// demands every thread ends up holding the identical ref for each function,
+// and that a serial rebuild in the same manager reproduces those refs. A
+// fresh private manager cross-checks the semantics, so a canonical-but-wrong
+// shared build can't pass.
+TEST(BddConcurrent, IdenticalBuildsYieldIdenticalRefs) {
+    constexpr int kThreads = 8;
+    constexpr int kVars = 6;
+    constexpr int kFunctions = 10;
+
+    Rng rng(301);
+    std::vector<TruthTable> tables;
+    for (int i = 0; i < kFunctions; ++i) tables.push_back(random_tt(kVars, rng));
+
+    BddManager shared(kVars);
+    std::vector<std::vector<BddManager::Ref>> per_thread(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            std::vector<BddManager::Ref> refs;
+            for (const TruthTable& tt : tables) {
+                const BddManager::Ref f = bdd_from_tt(shared, tt);
+                // Exercise the computed table from every thread too: the
+                // negation pair must land on complementary canonical refs.
+                const BddManager::Ref g = shared.bnot(shared.bnot(f));
+                refs.push_back(f);
+                EXPECT_EQ(f, g);
+            }
+            per_thread[t] = std::move(refs);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(per_thread[t], per_thread[0]);
+
+    // Serial rebuild in the now-warm shared manager: pure unique-table and
+    // computed-table hits, same refs.
+    for (int i = 0; i < kFunctions; ++i)
+        EXPECT_EQ(bdd_from_tt(shared, tables[i]), per_thread[0][i]);
+
+    // Semantic cross-check against a cold private manager.
+    BddManager serial(kVars);
+    for (int i = 0; i < kFunctions; ++i) {
+        const BddManager::Ref f = bdd_from_tt(serial, tables[i]);
+        for (std::uint64_t x = 0; x < (1ULL << kVars); ++x)
+            ASSERT_EQ(shared.evaluate(per_thread[0][i], x), serial.evaluate(f, x))
+                << "function " << i << " assignment " << x;
+    }
+}
+
+// Threads working on *disjoint* functions still share nodes: any common
+// subfunction collapses to one ref. Afterwards each thread's result must
+// match a serial build of its function inside the same manager.
+TEST(BddConcurrent, DisjointWorkloadsStayCanonical) {
+    constexpr int kThreads = 8;
+    constexpr int kVars = 7;
+
+    std::vector<TruthTable> tables;
+    for (int t = 0; t < kThreads; ++t) {
+        Rng rng(700 + t);
+        tables.push_back(random_tt(kVars, rng));
+    }
+
+    BddManager shared(kVars);
+    std::vector<BddManager::Ref> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] { results[t] = bdd_from_tt(shared, tables[t]); });
+    for (auto& th : threads) th.join();
+
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_EQ(bdd_from_tt(shared, tables[t]), results[t]) << "thread " << t;
+}
+
+// The node limit is one global threshold across every shard: threads
+// hammering the manager from all sides must each hit ResourceExhausted
+// (never some other failure), and the manager must stay usable afterwards —
+// existing refs are intact and allocation-free operations still work.
+TEST(BddConcurrent, GlobalNodeLimitUnderContention) {
+    constexpr int kThreads = 8;
+    constexpr std::size_t kLimit = 256;
+
+    BddManager m(16, kLimit);
+    const BddManager::Ref x0 = m.variable(0);
+    const BddManager::Ref x1 = m.variable(1);
+    const BddManager::Ref warm = m.band(x0, x1);
+
+    std::atomic<int> exhausted{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Rng rng(900 + t);
+            try {
+                BddManager::Ref f = m.bdd_false();
+                for (int round = 0; round < 64; ++round)
+                    f = m.bxor(f, bdd_from_tt(m, random_tt(10, rng)));
+                ADD_FAILURE() << "thread " << t << " never hit the node limit";
+            } catch (const LlsError& e) {
+                EXPECT_EQ(e.kind(), ErrorKind::ResourceExhausted);
+                EXPECT_EQ(e.stage(), "bdd");
+                exhausted.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(exhausted.load(), kThreads);
+    // Failed allocations roll their reservation back, so the aggregate count
+    // settles at (or below) the configured threshold.
+    EXPECT_LE(m.num_nodes(), kLimit);
+    // The manager survived: existing nodes are readable and hit-only
+    // operations succeed.
+    EXPECT_EQ(m.band(x0, x1), warm);
+    EXPECT_TRUE(m.evaluate(warm, 0b11));
+    EXPECT_FALSE(m.evaluate(warm, 0b01));
+}
+
+// The computed table is lossy and capacity-bounded: more distinct ITE calls
+// than slots force direct-mapped overwrites (counted as evictions), and a
+// recomputation after eviction returns the identical canonical ref.
+TEST(BddConcurrent, ComputedTableIsLossyNotUnbounded) {
+    // node_limit 2048 -> 1024 computed-table slots; 60 variables give
+    // 1770 ordered conjunction pairs, so evictions follow by pigeonhole.
+    constexpr int kVars = 60;
+    BddManager m(kVars, 2048);
+
+    std::vector<BddManager::Ref> first;
+    for (int i = 0; i < kVars; ++i)
+        for (int j = i + 1; j < kVars; ++j) first.push_back(m.band(m.variable(i), m.variable(j)));
+
+    const BddStats stats = m.stats();
+    EXPECT_GT(stats.ite_evictions, 0u);
+    EXPECT_GT(stats.ite_misses, stats.ite_hits);  // mostly distinct calls
+
+    std::size_t k = 0;
+    for (int i = 0; i < kVars; ++i)
+        for (int j = i + 1; j < kVars; ++j)
+            EXPECT_EQ(m.band(m.variable(i), m.variable(j)), first[k++]);
+}
+
+// Counter sanity: a repeated operation is a computed-table hit, a repeated
+// node a unique-table hit.
+TEST(BddConcurrent, StatsCountHitsAndMisses) {
+    BddManager m(4);
+    const BddManager::Ref f = m.band(m.variable(0), m.variable(1));
+    // Identical call: satisfied by the computed table.
+    EXPECT_EQ(m.band(m.variable(0), m.variable(1)), f);
+    // Commuted operands: a different ITE key, so the recursion reruns and
+    // rediscovers the existing node in the unique table.
+    EXPECT_EQ(m.band(m.variable(1), m.variable(0)), f);
+    const BddStats stats = m.stats();
+    EXPECT_GE(stats.ite_misses, 1u);
+    EXPECT_GE(stats.ite_hits, 1u);
+    EXPECT_GE(stats.nodes_created, 3u);  // two variables + the conjunction
+    EXPECT_GE(stats.unique_hits, 1u);
+}
+
+}  // namespace
+}  // namespace lls

@@ -81,6 +81,31 @@ TEST(Engine, ResultCacheDoesNotChangeQoR) {
     EXPECT_EQ(cached.hash, uncached.hash);
 }
 
+std::string run_aiger(const Aig& input, int jobs, bool shared_bdd) {
+    LookaheadParams params;
+    params.max_iterations = 6;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    engine.shared_bdd = shared_bdd;
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(input, params, engine, &stats);
+    EXPECT_TRUE(stats.verified);
+    std::stringstream aag;
+    write_aiger(aag, out);
+    return aag.str();
+}
+
+TEST(Engine, SharedBddMatchesPrivateByteForByte) {
+    // The shared manager is an execution knob: the serialized output must be
+    // identical to the private-manager baseline for every jobs value, on
+    // both sides of the switch.
+    const Aig rca = ripple_carry_adder(8);
+    const std::string baseline = run_aiger(rca, 1, /*shared_bdd=*/false);
+    for (const int jobs : {1, 2, 4})
+        EXPECT_EQ(run_aiger(rca, jobs, /*shared_bdd=*/true), baseline) << "jobs=" << jobs;
+    EXPECT_EQ(run_aiger(rca, 4, /*shared_bdd=*/false), baseline);
+}
+
 TEST(Engine, CacheHitCountersIncreaseOnRepeatedRuns) {
     const Aig rca = ripple_carry_adder(9);
     run(rca, 1);

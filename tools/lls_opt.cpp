@@ -7,6 +7,9 @@
 //   --flow sis|abc|dc|lookahead   optimization flow (default: lookahead)
 //   --iterations N                lookahead decomposition rounds (default 10)
 //   --jobs N                      worker threads (cone fan-out; batch circuits)
+//   --shared-bdd on|off           share one concurrency-safe BDD manager across
+//                                 the run's workers (default on; off = private
+//                                 per-call managers, the pre-refactor behavior)
 //   --work-budget N               deterministic work budget in units (0 = none);
 //                                 budgeted runs are bit-identical across --jobs
 //   --batch                       optimize every input concurrently (--jobs)
@@ -62,7 +65,8 @@ namespace {
 int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N]\n"
-                 "          [--work-budget N] [--fault-inject SPEC] [--no-verify] [--map]\n"
+                 "          [--shared-bdd on|off] [--work-budget N] [--fault-inject SPEC]\n"
+                 "          [--no-verify] [--map]\n"
                  "          [--aiger PATH] [--verilog PATH] [--stats] [--metrics]\n"
                  "          <input.blif> [output.blif]\n"
                  "       %s --batch [options] [--out-dir DIR] [--checkpoint FILE] [--resume]\n"
@@ -103,7 +107,7 @@ int main(int argc, char** argv) {
     int jobs = 1;
     std::uint64_t work_budget = 0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
-    bool batch = false, resume = false;
+    bool batch = false, resume = false, shared_bdd = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -114,6 +118,17 @@ int main(int argc, char** argv) {
                 return usage(argv[0]);
         } else if (arg == "--jobs" && i + 1 < argc) {
             if (!lls::parse_int_option("--jobs", argv[++i], 1, 1024, &jobs)) return usage(argv[0]);
+        } else if (arg == "--shared-bdd" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            if (value == "on") {
+                shared_bdd = true;
+            } else if (value == "off") {
+                shared_bdd = false;
+            } else {
+                std::fprintf(stderr, "error: --shared-bdd expects on|off, got '%s'\n",
+                             value.c_str());
+                return usage(argv[0]);
+            }
         } else if (arg == "--work-budget" && i + 1 < argc) {
             if (!lls::parse_u64_option("--work-budget", argv[++i], UINT64_MAX, &work_budget))
                 return usage(argv[0]);
@@ -158,6 +173,7 @@ int main(int argc, char** argv) {
     params.work_budget = work_budget;
     lls::EngineOptions engine;
     engine.jobs = jobs;
+    engine.shared_bdd = shared_bdd;
 
     // Fault injection: engine-site specs are forwarded through the params
     // (they are part of what the evaluations compute); `fatal@batch:N` is a

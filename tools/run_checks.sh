@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # run_checks.sh: tier-1 tests in the default configuration, a budgeted
 # determinism check of the CLI (same circuit + work budget at several
-# --jobs values must produce byte-identical outputs), fault-injection and
-# checkpoint/resume checks of the containment subsystem, then the
-# concurrency-sensitive engine/parse/io tests under ThreadSanitizer.
+# --jobs values must produce byte-identical outputs), a shared-BDD-manager
+# identity check (shared and private managers must produce the same bytes
+# at every --jobs value), fault-injection and checkpoint/resume checks of
+# the containment subsystem, then the concurrency-sensitive
+# engine/bdd/parse/io tests under ThreadSanitizer.
 #
 #   tools/run_checks.sh [--skip-tsan]
 #
@@ -36,6 +38,24 @@ for circuit in tests/data/rca16.blif tests/data/control24.blif; do
     cmp "$WORKDIR/$name.j1.blif" "$WORKDIR/$name.j2.blif"
     cmp "$WORKDIR/$name.j1.blif" "$WORKDIR/$name.j4.blif"
     echo "$name: budgeted outputs identical for --jobs 1/2/4"
+done
+
+echo "== stage 2b: shared BDD manager is jobs- and mode-invariant =="
+# The shared concurrent BddManager is an execution knob: with it on, the
+# output must be byte-identical across --jobs AND identical to the private
+# per-call managers (--shared-bdd off), on both regression circuits.
+for circuit in tests/data/rca16.blif tests/data/control24.blif; do
+    name="$(basename "$circuit" .blif)"
+    for j in 1 2 4; do
+        ./build/tools/lls_opt --shared-bdd on --jobs "$j" --iterations 6 \
+            "$circuit" "$WORKDIR/$name.shared.j$j.blif" > /dev/null
+    done
+    ./build/tools/lls_opt --shared-bdd off --jobs 2 --iterations 6 \
+        "$circuit" "$WORKDIR/$name.private.blif" > /dev/null
+    cmp "$WORKDIR/$name.shared.j1.blif" "$WORKDIR/$name.shared.j2.blif"
+    cmp "$WORKDIR/$name.shared.j1.blif" "$WORKDIR/$name.shared.j4.blif"
+    cmp "$WORKDIR/$name.shared.j1.blif" "$WORKDIR/$name.private.blif"
+    echo "$name: shared-BDD outputs identical for --jobs 1/2/4 and to --shared-bdd off"
 done
 
 echo "== stage 3: fault injection never aborts and stays jobs-invariant =="
@@ -88,9 +108,11 @@ if [[ "$SKIP_TSAN" == 1 ]]; then
     exit 0
 fi
 
-echo "== stage 5: engine tests under ThreadSanitizer =="
+echo "== stage 5: engine + shared-BDD tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_thread_pool test_engine test_parse test_io
-(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io' --output-on-failure)
+cmake --build build-tsan -j "$JOBS" \
+    --target test_thread_pool test_engine test_parse test_io test_bdd_concurrent
+(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io|test_bdd_concurrent' \
+    --output-on-failure)
 
 echo "== all checks passed =="
