@@ -1,0 +1,41 @@
+#pragma once
+
+// Minimal JSON string escaping, shared by everything that emits hand-built
+// JSON (metrics, benches). Kept header-only in common/ so low layers can
+// use it without new link dependencies.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lls {
+
+/// Escapes `text` for embedding inside a JSON string literal: quotes,
+/// backslashes, the short escapes \b \f \n \r \t, and \u00XX for every
+/// other control character. Does not add the surrounding quotes.
+inline std::string json_escape(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace lls

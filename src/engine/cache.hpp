@@ -120,6 +120,19 @@ public:
         }
     }
 
+    /// Visits every entry, shard by shard, under the stripe locks — the
+    /// export hook of the persistent memo store. `fn` must not call back
+    /// into this cache (the stripe lock is held) and should be cheap;
+    /// concurrent inserts into not-yet-visited shards may or may not be
+    /// seen, which is fine for the pure memos this cache holds.
+    template <typename F>
+    void for_each(F&& fn) const {
+        for (const auto& shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (const auto& [key, value] : shard.map) fn(key, value);
+        }
+    }
+
     CacheStatsSnapshot stats() const {
         CacheStatsSnapshot s;
         s.name = name_;

@@ -19,7 +19,10 @@
 #include "common/fault.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "engine/memo.hpp"
 #include "engine/metrics.hpp"
+#include "engine/warm_start.hpp"
+#include "exact/rewrite.hpp"
 #include "lookahead/decompose.hpp"
 
 namespace lls {
@@ -63,45 +66,24 @@ std::uint64_t params_fingerprint(const LookaheadParams& p) {
     return h;
 }
 
-/// The memoized result of evaluating one cone: the outcome (nullptr
-/// recording "no improvement found" — negative results are just as
-/// expensive to recompute) plus the deterministic work it cost. Storing
-/// the cost is what keeps budgeted runs independent of cache state: a memo
-/// hit charges exactly the units the avoided recomputation would have.
-struct ConeEvaluation {
-    std::shared_ptr<const DecomposeOutcome> outcome;
-    WorkCost cost;
-    /// Faults contained by the retry ladder while evaluating this cone
-    /// (cone id/name are filled in at the serial commit). Stored in the
-    /// memo with the rest of the evaluation, so a cache hit replays its
-    /// fault history the same way it replays its cost.
-    std::vector<FaultRecord> faults;
-};
-
-/// Decomposition memo: (cone structural hash, params fingerprint) -> the
-/// evaluation. Shared across runs in the process.
-using DecomposeMemo =
-    ShardedCache<std::pair<std::uint64_t, std::uint64_t>, ConeEvaluation, U64PairHash>;
-
-DecomposeMemo& decompose_memo() {
-    static DecomposeMemo instance("decompose_memo", /*max_entries_per_shard=*/2048);
-    return instance;
-}
-
 /// Equivalence check with the structural-hash verdict memo in front. Only
 /// resolved verdicts are stored; a memo hit returns no counterexample
 /// (engine callers only branch on resolved/equivalent). `cost` meters the
 /// SAT work actually performed — a memo hit honestly reports zero, which
 /// is why serial-stage CEC work feeds --metrics but is never charged
 /// against the deterministic budget (docs/ENGINE.md, "Budget semantics").
+/// A hit on a verdict imported from the persistent store is noted against
+/// `warm` for the `persist.warm_hits` split.
 CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t conflict_limit,
-                                 bool use_cache, WorkCost* cost = nullptr) {
+                                 bool use_cache, WorkCost* cost = nullptr,
+                                 WarmStart* warm = nullptr) {
     if (!use_cache) return check_equivalence(a, b, conflict_limit, cost);
     // Not std::minmax: it returns references into the hash() temporaries,
     // which dangle once this statement ends.
     const std::uint64_t ha = a.hash(), hb = b.hash();
     const std::pair<std::uint64_t, std::uint64_t> key{std::min(ha, hb), std::max(ha, hb)};
     if (const auto verdict = cec_memo().get(key)) {
+        if (warm) warm->note_cec_hit(key.first, key.second);
         CecResult r;
         r.equivalent = *verdict;
         r.resolved = true;
@@ -113,6 +95,11 @@ CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t confli
 }
 
 }  // namespace
+
+DecomposeMemo& decompose_memo() {
+    static DecomposeMemo instance("decompose_memo", /*max_entries_per_shard=*/2048);
+    return instance;
+}
 
 Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                            const EngineOptions& engine, OptimizeStats* stats) {
@@ -276,7 +263,16 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             return evaluation;
         };
         if (!engine.use_result_cache) return compute();
-        return decompose_memo().get_or_compute({cone_hash, fingerprint}, compute);
+        // Explicit get/put instead of get_or_compute so a hit on an entry
+        // the persistent store imported can be metered as a warm hit.
+        const std::pair<std::uint64_t, std::uint64_t> key{cone_hash, fingerprint};
+        if (auto cached = decompose_memo().get(key)) {
+            if (engine.warm_start) engine.warm_start->note_decompose_hit(cone_hash, fingerprint);
+            return std::move(*cached);
+        }
+        ConeEvaluation value = compute();
+        decompose_memo().put(key, value);
+        return value;
     };
 
     auto run_decomposition_loop = [&](Aig current) {
@@ -351,6 +347,12 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 work_decompositions.add(round_cost.decompositions);
                 work_eval_conflicts.add(round_cost.sat_conflicts);
             }
+
+            // Round boundary: push the memo entries this round created to
+            // the persistent store. Serial point, after the charge — a
+            // publication failure is contained in the store and cannot
+            // perturb the budget stream or the round's results.
+            if (engine.warm_start && engine.use_result_cache) engine.warm_start->flush_round();
 
             // Report contained faults at the same serial point, in task
             // order, stamping each record with its cone — deterministic for
@@ -445,7 +447,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 WorkCost cec_cost;
                 const CecResult cec =
                     check_equivalence_memo(candidate, current, /*conflict_limit=*/1000000,
-                                           engine.use_result_cache, &cec_cost);
+                                           engine.use_result_cache, &cec_cost,
+                                           engine.warm_start);
                 work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
                     // A failed or unresolved check means this round cannot
@@ -478,7 +481,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 WorkCost cec_cost;
                 const CecResult cec =
                     check_equivalence_memo(best, original, /*conflict_limit=*/4000000,
-                                           engine.use_result_cache, &cec_cost);
+                                           engine.use_result_cache, &cec_cost,
+                                           engine.warm_start);
                 work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
                     local.verified = local.verified && cec.resolved;
@@ -519,7 +523,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             WorkCost cec_cost;
             const CecResult cec =
                 check_equivalence_memo(preopt, original, /*conflict_limit=*/1000000,
-                                       engine.use_result_cache, &cec_cost);
+                                       engine.use_result_cache, &cec_cost, engine.warm_start);
             work_cec_conflicts.add(cec_cost.sat_conflicts);
             if (!cec.resolved || !cec.equivalent) {
                 local.verified = local.verified && cec.resolved;
@@ -593,6 +597,8 @@ CacheStatsSnapshot decomposition_cache_stats() { return decompose_memo().stats()
 void clear_engine_caches() {
     decompose_memo().clear();
     cec_memo().clear();
+    npn_memo().clear();
+    exact_structure_memo().clear();
 }
 
 }  // namespace lls

@@ -12,6 +12,8 @@
 
 namespace lls {
 
+class WarmStart;
+
 /// Execution knobs of the concurrent optimization engine. These control
 /// *how* the flow runs, never *what* it computes: the result is
 /// bit-identical for every `jobs` value, including runs bounded by the
@@ -40,6 +42,14 @@ struct EngineOptions {
     /// "Shared BDD manager"). CLI escape hatch: `lls_opt --shared-bdd
     /// off`.
     bool shared_bdd = true;
+
+    /// Persistent-store bridge (engine/warm_start.hpp), or nullptr for a
+    /// memory-only run. When set (and `use_result_cache` is on), the
+    /// engine notes warm hits against the imported entries and flushes
+    /// newly computed memo entries to the store at round boundaries.
+    /// Imported entries replay their stored WorkCost, so budgeted warm
+    /// runs stay bit-identical to cold ones. Not owned.
+    WarmStart* warm_start = nullptr;
 };
 
 /// The paper's timing-driven flow, executed by the concurrent engine: each
@@ -102,7 +112,9 @@ std::uint64_t lookahead_params_fingerprint(const LookaheadParams& params);
 CacheStatsSnapshot decomposition_cache_stats();
 
 /// Drops every entry of the engine's process-wide caches (decomposition
-/// memo and CEC memo). Counters are not reset.
+/// memo, CEC memo, and the exact-rewrite NPN/structure memos) — what the
+/// persistence tests use to simulate a fresh process. Counters are not
+/// reset.
 void clear_engine_caches();
 
 }  // namespace lls

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "common/json.hpp"
 #include "engine/cache.hpp"
 
 namespace lls {
@@ -88,19 +89,22 @@ void Metrics::report(std::FILE* out) const {
 }
 
 std::string Metrics::to_json() const {
+    // Names come from code today, but nothing enforces that (cache names
+    // are arbitrary constructor strings) — always escape.
     std::string json = "{\"counters\":{";
     bool first = true;
     for (const auto& row : counters()) {
         if (!first) json += ',';
         first = false;
-        json += '"' + row.name + "\":" + std::to_string(row.value);
+        json += '"' + json_escape(row.name) + "\":" + std::to_string(row.value);
     }
     json += "},\"timers\":{";
     first = true;
     for (const auto& row : timers()) {
         if (!first) json += ',';
         first = false;
-        json += '"' + row.name + "\":{\"seconds\":" + std::to_string(row.total_seconds) +
+        json += '"' + json_escape(row.name) + "\":{\"seconds\":" +
+                std::to_string(row.total_seconds) +
                 ",\"samples\":" + std::to_string(row.samples) + "}";
     }
     json += "},\"caches\":{";
@@ -108,7 +112,7 @@ std::string Metrics::to_json() const {
     for (const auto& cache : all_cache_stats()) {
         if (!first) json += ',';
         first = false;
-        json += '"' + cache.name + "\":{\"hits\":" + std::to_string(cache.hits) +
+        json += '"' + json_escape(cache.name) + "\":{\"hits\":" + std::to_string(cache.hits) +
                 ",\"misses\":" + std::to_string(cache.misses) +
                 ",\"evictions\":" + std::to_string(cache.evictions) +
                 ",\"entries\":" + std::to_string(cache.entries) + "}";

@@ -13,33 +13,37 @@ namespace lls {
 
 namespace {
 
+NpnResult canonize_cached(const TruthTable& tt) {
+    return npn_memo().get_or_compute(npn_cache_key(tt), [&] { return npn_canonize(tt); });
+}
+
+std::optional<ExactStructure> structure_cached(const TruthTable& canonical, int max_gates,
+                                               std::int64_t conflict_limit) {
+    // The conflict limit is part of the key: a nullopt produced under a
+    // small SAT budget must not shadow a realization a larger budget would
+    // find — and with the memo persisted across processes, entries now
+    // outlive any single run's fixed options.
+    return exact_structure_memo().get_or_compute(
+        npn_cache_key(canonical, max_gates) + ":c" + std::to_string(conflict_limit),
+        [&] { return exact_synthesize(canonical, max_gates, conflict_limit); });
+}
+
+}  // namespace
+
 /// Process-wide caches: NPN canonization and exact structures per canonical
 /// class. Both are pure functions of the truth table, so sharing them
 /// across rewrite() calls (and circuits) is sound and makes repeated flow
 /// invocations cheap. Sharded + mutex-striped so the engine's workers and
 /// batch-mode circuits can rewrite concurrently.
-ShardedCache<std::string, NpnResult>& npn_cache() {
+ShardedCache<std::string, NpnResult>& npn_memo() {
     static ShardedCache<std::string, NpnResult> instance("npn_canon");
     return instance;
 }
 
-ShardedCache<std::string, std::optional<ExactStructure>>& structure_cache() {
+ShardedCache<std::string, std::optional<ExactStructure>>& exact_structure_memo() {
     static ShardedCache<std::string, std::optional<ExactStructure>> instance("exact_structures");
     return instance;
 }
-
-NpnResult canonize_cached(const TruthTable& tt) {
-    return npn_cache().get_or_compute(npn_cache_key(tt), [&] { return npn_canonize(tt); });
-}
-
-std::optional<ExactStructure> structure_cached(const TruthTable& canonical, int max_gates,
-                                               std::int64_t conflict_limit) {
-    return structure_cache().get_or_compute(
-        npn_cache_key(canonical, max_gates),
-        [&] { return exact_synthesize(canonical, max_gates, conflict_limit); });
-}
-
-}  // namespace
 
 Aig rewrite(const Aig& aig, const RewriteOptions& options) {
     LLS_REQUIRE(options.cut_size >= 2 && options.cut_size <= 4);

@@ -1,0 +1,60 @@
+#pragma once
+
+// Value codecs of the persistent memo store: byte encodings for the
+// payloads of each Section (persist/format.hpp). Every decoder validates
+// what it reads and throws LlsError{IoError, "persist"} on anything
+// malformed — the warm-start bridge turns that into a skipped record, so a
+// logically inconsistent value (as opposed to the bit-level corruption the
+// per-record checksums catch) degrades to a recompute, never a crash or a
+// wrong structure.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "aig/aig.hpp"
+#include "engine/memo.hpp"
+#include "exact/exact_synthesis.hpp"
+#include "persist/format.hpp"
+#include "tt/npn.hpp"
+
+namespace lls::persist {
+
+/// 16-byte key of the (u64, u64)-keyed sections (Decompose, Cec).
+std::string encode_pair_key(std::uint64_t a, std::uint64_t b);
+/// Throws LlsError{IoError} unless `key` is exactly 16 bytes.
+std::pair<std::uint64_t, std::uint64_t> decode_pair_key(std::string_view key);
+
+/// AIG structure codec by land()-replay. Outcome AIGs are cleanup() /
+/// extract_cone() products: node 0 is the constant, PIs come first, and
+/// every AND was freshly created by land() in id order — so replaying the
+/// recorded nodes through land() in a new Aig reproduces the identical
+/// graph, verified node by node and by the final structural hash. Names
+/// are not stored (the engine's commit step never reads them and hash()
+/// excludes them).
+void encode_aig(ByteWriter& out, const Aig& aig);
+Aig decode_aig(ByteReader& in);
+
+/// ConeEvaluation codec (Section::Decompose values). Only fault-free
+/// evaluations may be encoded — persisting a fault history would be
+/// redundant (injection is deterministic, the recompute replays it) and
+/// the decoder always returns an empty one.
+std::string encode_cone_evaluation(const ConeEvaluation& evaluation);
+ConeEvaluation decode_cone_evaluation(std::string_view bytes);
+
+/// CEC verdict codec (Section::Cec values).
+std::string encode_cec_verdict(bool equivalent);
+bool decode_cec_verdict(std::string_view bytes);
+
+/// NpnResult codec (Section::Npn values).
+std::string encode_npn_result(const NpnResult& npn);
+NpnResult decode_npn_result(std::string_view bytes);
+
+/// optional<ExactStructure> codec (Section::ExactStruct values); nullopt
+/// records "no realization within the gate/conflict bounds".
+std::string encode_exact_structure(const std::optional<ExactStructure>& structure);
+std::optional<ExactStructure> decode_exact_structure(std::string_view bytes);
+
+}  // namespace lls::persist

@@ -1,6 +1,7 @@
 // lls_fuzz: randomized end-to-end robustness harness.
 //
 //   lls_fuzz [iterations] [base_seed] [--fault-inject SPEC]
+//   lls_fuzz --mutate-store [iterations] [base_seed]
 //
 // Each iteration generates a random circuit (random shape, PI/PO counts and
 // operator mix), pushes it through every optimization flow plus mapping and
@@ -14,6 +15,13 @@
 // grammar) into the lookahead flow, exercising the engine's containment
 // ladder under fuzz workloads: injected faults must degrade cones, never
 // break equivalence or crash the harness.
+//
+// --mutate-store exercises the persistent memo store (src/persist/): each
+// iteration populates a cache directory from a cold run, proves an intact
+// warm replay is byte-identical with warm hits registered, then mutates
+// every shard file (truncation, bit flips, zeroed header, appended
+// garbage) and requires the mutated warm run to degrade to a cold start —
+// same bytes, exit without any escaping exception.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,10 +36,16 @@
 #include "baseline/select_transform.hpp"
 #include "cec/cec.hpp"
 #include "cec/redundancy.hpp"
+#include "engine/engine.hpp"
+#include "engine/metrics.hpp"
+#include "engine/warm_start.hpp"
 #include "io/blif.hpp"
 #include "io/generators.hpp"
 #include "lookahead/optimize.hpp"
 #include "mapping/netlist.hpp"
+#include "persist/store.hpp"
+
+#include <fstream>
 
 namespace {
 
@@ -177,6 +191,113 @@ bool run_iteration(std::uint64_t seed, const std::string& fault_plan) {
     }
 }
 
+/// AIGER bytes of one lookahead run of `circuit` through the engine, with
+/// an optional warm-start bridge — the byte-level QoR probe of the store
+/// mutation mode.
+std::string optimize_bytes(const lls::Aig& circuit, std::uint64_t seed, lls::WarmStart* warm) {
+    lls::LookaheadParams params;
+    params.max_iterations = 4;
+    params.seed = seed;
+    lls::EngineOptions engine;
+    engine.warm_start = warm;
+    const lls::Aig optimized = lls::optimize_timing_engine(circuit, params, engine);
+    std::stringstream aag;
+    lls::write_aiger(aag, optimized);
+    return aag.str();
+}
+
+/// Applies one random corruption to a shard file: truncation, bit flips,
+/// a zeroed header, or appended garbage.
+void mutate_file(const std::string& path, lls::Rng& rng) {
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+    switch (rng.next_below(4)) {
+        case 0:  // truncate somewhere, header included
+            bytes.resize(rng.next_below(bytes.size() + 1));
+            break;
+        case 1:  // flip a handful of random bits
+            for (std::size_t flips = 1 + rng.next_below(8); flips && !bytes.empty(); --flips) {
+                const std::size_t at = rng.next_below(bytes.size());
+                bytes[at] = static_cast<char>(bytes[at] ^ (1 << rng.next_below(8)));
+            }
+            break;
+        case 2:  // zero the header
+            for (std::size_t i = 0; i < bytes.size() && i < 16; ++i) bytes[i] = 0;
+            break;
+        default:  // append garbage (a torn concurrent append)
+            for (std::size_t n = 1 + rng.next_below(64); n; --n)
+                bytes.push_back(static_cast<char>(rng.next_below(256)));
+            break;
+    }
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// One store-mutation iteration: cold populate -> intact warm replay
+/// (byte-identical, warm hits registered) -> mutate every shard -> the
+/// mutated warm run must degrade to a cold start with identical bytes.
+bool run_store_iteration(std::uint64_t seed) {
+    const lls::Aig circuit = random_circuit(seed);
+    const std::string dir = "fuzz_store/seed_" + std::to_string(seed);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    auto fail = [&](const char* what) {
+        std::fprintf(stderr, "FUZZ FAILURE: %s at seed %llu\n", what,
+                     static_cast<unsigned long long>(seed));
+        dump_reproducer(seed, circuit);
+        return false;
+    };
+    try {
+        lls::clear_engine_caches();
+        std::string cold;
+        {
+            lls::WarmStart warm(dir, lls::persist::StoreMode::ReadWrite);
+            cold = optimize_bytes(circuit, seed, &warm);
+            warm.finalize();
+        }
+
+        lls::clear_engine_caches();
+        {
+            lls::WarmStart warm(dir, lls::persist::StoreMode::Read);
+            const std::uint64_t hits_before =
+                lls::Metrics::global().counter("persist.warm_hits").value();
+            if (optimize_bytes(circuit, seed, &warm) != cold)
+                return fail("warm replay diverged from cold run");
+            const std::uint64_t hits_after =
+                lls::Metrics::global().counter("persist.warm_hits").value();
+            if (circuit.depth() >= 2 && warm.imported_records() > 0 && hits_after == hits_before)
+                return fail("warm replay registered no warm hits");
+        }
+
+        lls::Rng rng(seed ^ 0x57a7e);
+        std::size_t mutated = 0;
+        for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+            if (!entry.is_regular_file()) continue;
+            mutate_file(entry.path().string(), rng);
+            ++mutated;
+        }
+        lls::clear_engine_caches();
+        {
+            lls::WarmStart warm(dir, lls::persist::StoreMode::Read);
+            if (optimize_bytes(circuit, seed, &warm) != cold)
+                return fail("mutated store changed the result");
+        }
+        std::printf("seed %llu ok (store mutation contained, %zu shard(s) mutated)\n",
+                    static_cast<unsigned long long>(seed), mutated);
+        return true;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FUZZ FAILURE: store exception at seed %llu: %s\n",
+                     static_cast<unsigned long long>(seed), e.what());
+        dump_reproducer(seed, circuit);
+        return false;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,19 +305,24 @@ int main(int argc, char** argv) {
     // run that "passes".
     g_argv0 = argv[0];
     const auto usage = [&]() {
-        std::fprintf(stderr, "usage: %s [iterations] [base_seed] [--fault-inject SPEC]\n",
-                     argv[0]);
+        std::fprintf(stderr,
+                     "usage: %s [iterations] [base_seed] [--fault-inject SPEC]\n"
+                     "       %s --mutate-store [iterations] [base_seed]\n",
+                     argv[0], argv[0]);
         return 2;
     };
     int iterations = 25;
     std::uint64_t base_seed = 1000;
     std::string fault_plan;
+    bool mutate_store = false;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--fault-inject") {
             if (i + 1 >= argc) return usage();
             g_fault_spec = argv[++i];
+        } else if (arg == "--mutate-store") {
+            mutate_store = true;
         } else if (positional == 0) {
             if (!lls::parse_int_option("iterations", arg.c_str(), 1, 1000000000, &iterations))
                 return usage();
@@ -220,9 +346,15 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (mutate_store && !g_fault_spec.empty()) {
+        std::fprintf(stderr, "error: --mutate-store and --fault-inject are mutually exclusive\n");
+        return 2;
+    }
+
     for (int i = 0; i < iterations; ++i) {
         const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
-        if (!run_iteration(seed, fault_plan)) return 1;
+        if (mutate_store ? !run_store_iteration(seed) : !run_iteration(seed, fault_plan))
+            return 1;
     }
     std::printf("fuzz: %d iterations passed\n", iterations);
     return 0;

@@ -31,6 +31,15 @@
 //   --verilog PATH                dump the mapped gate-level netlist as Verilog
 //   --stats                       print per-round decomposition log
 //   --metrics                     print engine stage timers + cache stats
+//   --metrics-json FILE           dump the metrics registry as JSON to FILE
+//   --cache-dir DIR               persistent memo store: load intact shards
+//                                 from DIR before optimizing and publish new
+//                                 memo entries back (see docs/ENGINE.md,
+//                                 "Persistent memo store"); corrupt or
+//                                 version-mismatched shards degrade to a
+//                                 cold start, never a failure
+//   --cache-mode read|write|rw|off
+//                                 what --cache-dir may do (default rw)
 //
 // Exit code is nonzero on parse errors or a failed equivalence check.
 
@@ -53,6 +62,7 @@
 #include "engine/checkpoint.hpp"
 #include "engine/engine.hpp"
 #include "engine/metrics.hpp"
+#include "engine/warm_start.hpp"
 #include "io/blif.hpp"
 #include "lookahead/optimize.hpp"
 #include <fstream>
@@ -66,8 +76,10 @@ int usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N]\n"
                  "          [--shared-bdd on|off] [--work-budget N] [--fault-inject SPEC]\n"
+                 "          [--cache-dir DIR] [--cache-mode read|write|rw|off]\n"
                  "          [--no-verify] [--map]\n"
                  "          [--aiger PATH] [--verilog PATH] [--stats] [--metrics]\n"
+                 "          [--metrics-json FILE]\n"
                  "          <input.blif> [output.blif]\n"
                  "       %s --batch [options] [--out-dir DIR] [--checkpoint FILE] [--resume]\n"
                  "          <input.blif> [input2.blif ...]\n",
@@ -103,6 +115,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> inputs;
     std::string output_path, aiger_path, verilog_path, out_dir;
     std::string fault_spec, checkpoint_path;
+    std::string cache_dir, cache_mode = "rw", metrics_json_path;
     int iterations = 10;
     int jobs = 1;
     std::uint64_t work_budget = 0;
@@ -154,6 +167,12 @@ int main(int argc, char** argv) {
             print_stats = true;
         } else if (arg == "--metrics") {
             print_metrics = true;
+        } else if (arg == "--metrics-json" && i + 1 < argc) {
+            metrics_json_path = argv[++i];
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (arg == "--cache-mode" && i + 1 < argc) {
+            cache_mode = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             return usage(argv[0]);
         } else if (batch) {
@@ -195,6 +214,57 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --resume requires --checkpoint FILE\n");
         return 2;
     }
+
+    // Persistent memo store: open + load before any optimization so every
+    // run (single or batch) starts with warm caches. A store that cannot be
+    // *read* degrades to a cold start inside load(); only an unusable write
+    // setup throws, and even that merely disables persistence for the run —
+    // the optimization itself must never be blocked by cache trouble.
+    std::unique_ptr<lls::WarmStart> warm;
+    {
+        const auto mode = lls::persist::parse_store_mode(cache_mode);
+        if (!mode) {
+            std::fprintf(stderr, "error: --cache-mode expects read|write|rw|off, got '%s'\n",
+                         cache_mode.c_str());
+            return 2;
+        }
+        if (!cache_dir.empty() && *mode != lls::persist::StoreMode::Off) {
+            try {
+                warm = std::make_unique<lls::WarmStart>(cache_dir, *mode);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "warning: persistent cache disabled: %s\n", e.what());
+            }
+        }
+        if (warm) {
+            const lls::persist::LoadReport& rep = warm->report();
+            for (const auto& note : rep.notes)
+                std::fprintf(stderr, "persist: rejected shard: %s\n", note.c_str());
+            if (warm->imported_records() > 0)
+                std::printf("persist: warm start, %zu record(s) from %zu shard(s)\n",
+                            warm->imported_records(), rep.files_loaded);
+            else
+                std::printf("persist: cold start\n");
+            engine.warm_start = warm.get();
+        }
+    }
+
+    // Shared epilogue of both modes: final store flush + metrics dumps.
+    // Returns false (-> exit 1) only when --metrics-json cannot be written.
+    auto epilogue = [&]() -> bool {
+        if (warm) warm->finalize();
+        if (print_metrics) lls::Metrics::global().report(stdout);
+        if (!metrics_json_path.empty()) {
+            std::ofstream out(metrics_json_path);
+            out << lls::Metrics::global().to_json() << '\n';
+            out.flush();
+            if (!out.good()) {
+                std::fprintf(stderr, "error writing %s\n", metrics_json_path.c_str());
+                return false;
+            }
+            std::printf("wrote %s\n", metrics_json_path.c_str());
+        }
+        return true;
+    };
 
     // ---- batch mode: many circuits, one pool -------------------------------
     if (batch) {
@@ -323,7 +393,7 @@ int main(int argc, char** argv) {
         std::printf("batch: %zu circuits (%zu skipped via checkpoint), %d jobs, %.2fs wall "
                     "clock\n",
                     outcomes.size() + skipped, skipped, jobs, sw.elapsed_seconds());
-        if (print_metrics) lls::Metrics::global().report(stdout);
+        if (!epilogue()) exit_code = 1;
         return exit_code;
     }
 
@@ -378,7 +448,7 @@ int main(int argc, char** argv) {
     print_fault_summary(input_path.c_str(), stats);
     if (print_stats)
         for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());
-    if (print_metrics) lls::Metrics::global().report(stdout);
+    if (!epilogue()) return 1;
 
     if (verify) {
         const lls::CecResult cec = lls::check_equivalence(circuit, optimized, 4000000);

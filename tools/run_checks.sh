@@ -4,8 +4,10 @@
 # --jobs values must produce byte-identical outputs), a shared-BDD-manager
 # identity check (shared and private managers must produce the same bytes
 # at every --jobs value), fault-injection and checkpoint/resume checks of
-# the containment subsystem, then the concurrency-sensitive
-# engine/bdd/parse/io tests under ThreadSanitizer.
+# the containment subsystem, persistent-memo-store checks (warm runs
+# byte-identical to cold across --jobs, corrupted stores degrade to cold
+# start), then the concurrency-sensitive engine/bdd/parse/io/persist tests
+# under ThreadSanitizer.
 #
 #   tools/run_checks.sh [--skip-tsan]
 #
@@ -78,6 +80,9 @@ for spec in resource@decompose:1 invariant@spcf:1 solver@sat:1 verify@cec:1 \
 done
 # From inside WORKDIR so a failure's fuzz_corpus/ lands in the temp dir.
 (cd "$WORKDIR" && "$REPO/build/tools/lls_fuzz" 3 4242 --fault-inject resource@decompose:1)
+# Store-file mutation fuzzing: random corruption of published shards must
+# always degrade to a byte-identical cold recompute, never a crash.
+(cd "$WORKDIR" && "$REPO/build/tools/lls_fuzz" --mutate-store 3 4242)
 # The fault-injection + checkpoint unit tests again under AddressSanitizer:
 # the recovery ladder's throw/catch/degrade paths must be leak- and
 # corruption-free, not just functionally right.
@@ -103,16 +108,55 @@ cmp "$WORKDIR/full/rca16.blif" "$WORKDIR/resumed/rca16.blif"
 cmp "$WORKDIR/full/control24.blif" "$WORKDIR/resumed/control24.blif"
 echo "checkpoint/resume outputs identical to uninterrupted run"
 
+echo "== stage 4b: persistent store warm runs are byte-identical =="
+# Cold run populates the cache directory; warm runs at several --jobs
+# values must replay to byte-identical AIGER output with warm hits > 0.
+CACHE="$WORKDIR/memo_cache"
+./build/tools/lls_opt --cache-dir "$CACHE" --jobs 1 --iterations 6 \
+    --aiger "$WORKDIR/persist.cold.aag" \
+    tests/data/rca16.blif "$WORKDIR/persist.cold.blif" > /dev/null
+for j in 1 2 4; do
+    ./build/tools/lls_opt --cache-dir "$CACHE" --cache-mode read --jobs "$j" \
+        --iterations 6 --aiger "$WORKDIR/persist.warm.j$j.aag" \
+        --metrics-json "$WORKDIR/persist.warm.j$j.json" \
+        tests/data/rca16.blif "$WORKDIR/persist.warm.j$j.blif" > /dev/null
+    cmp "$WORKDIR/persist.cold.aag" "$WORKDIR/persist.warm.j$j.aag"
+    grep -q '"persist.warm_hits":0' "$WORKDIR/persist.warm.j$j.json" && {
+        echo "expected persist.warm_hits > 0 at --jobs $j"; exit 1; }
+    grep -q '"persist.warm_hits":' "$WORKDIR/persist.warm.j$j.json" || {
+        echo "persist.warm_hits missing from metrics JSON"; exit 1; }
+done
+echo "warm outputs identical to cold for --jobs 1/2/4, warm hits recorded"
+
+echo "== stage 4c: corrupted store degrades to cold start, not failure =="
+# Truncate and bit-flip every shard: the run must exit 0, report a cold
+# start, and still produce the same bytes (recomputed).
+CORRUPT="$WORKDIR/memo_corrupt"
+cp -r "$CACHE" "$CORRUPT"
+for f in "$CORRUPT"/*.shard; do
+    size=$(stat -c %s "$f")
+    head -c "$((size / 2))" "$f" > "$f.t" && mv "$f.t" "$f"
+    printf '\377' | dd of="$f" bs=1 seek=12 conv=notrunc status=none
+done
+./build/tools/lls_opt --cache-dir "$CORRUPT" --cache-mode read --jobs 2 \
+    --iterations 6 --aiger "$WORKDIR/persist.corrupt.aag" \
+    tests/data/rca16.blif "$WORKDIR/persist.corrupt.blif" > "$WORKDIR/persist.corrupt.log"
+grep -q "persist: cold start" "$WORKDIR/persist.corrupt.log" || {
+    echo "expected cold-start fallback on corrupted store"; exit 1; }
+cmp "$WORKDIR/persist.cold.aag" "$WORKDIR/persist.corrupt.aag"
+echo "corrupted store contained: cold start, byte-identical output"
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
     echo "== stage 5: skipped (--skip-tsan) =="
     exit 0
 fi
 
-echo "== stage 5: engine + shared-BDD tests under ThreadSanitizer =="
+echo "== stage 5: engine + shared-BDD + persist tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
-    --target test_thread_pool test_engine test_parse test_io test_bdd_concurrent
-(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io|test_bdd_concurrent' \
+    --target test_thread_pool test_engine test_parse test_io test_bdd_concurrent \
+             test_cache test_persist
+(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io|test_bdd_concurrent|test_cache|test_persist' \
     --output-on-failure)
 
 echo "== all checks passed =="
