@@ -12,11 +12,18 @@
 // workers building the node BDDs of overlapping PO cones) and records the
 // cross-worker ITE-cache hit rate.
 //
+// A third sweep measures two-level work stealing on a deliberately skewed
+// batch (one circuit with many equally-critical cones plus several small
+// adders): with stealing off, the batch tail serializes on the big
+// circuit while freed workers idle; with stealing on, they join its
+// per-round cone fan-out. The sweep asserts the outputs' full structural
+// hashes are identical between modes — stealing is an execution knob.
+//
 //   bench_parallel [bits] [max_jobs] [iterations]
 //
 // Results go to stdout and to BENCH_parallel.json (machine-readable, one
-// object per jobs value, plus "budgeted" and "bdd" sections) so the perf
-// trajectory is tracked across PRs.
+// object per jobs value, plus "budgeted", "bdd", and "steal" sections) so
+// the perf trajectory is tracked across PRs.
 
 #include <algorithm>
 #include <atomic>
@@ -115,7 +122,10 @@ double hit_rate(std::uint64_t hits, std::uint64_t misses) {
 /// own manager, the pre-refactor behavior.
 std::vector<BddRow> bdd_sweep(const Aig& circuit, const std::vector<int>& job_counts) {
     constexpr int kRounds = 32;
-    constexpr std::size_t kNodeLimit = std::size_t{1} << 16;
+    // Sized so the one shared manager can hold every cone's node BDDs at
+    // once: the old 2^16 cap was exceeded by the default 16-bit adder's
+    // cones and killed the whole bench with an uncaught ResourceExhausted.
+    constexpr std::size_t kNodeLimit = std::size_t{1} << 20;
     std::vector<Aig> cones;
     for (std::size_t o = 0; o < circuit.num_pos(); ++o) cones.push_back(extract_cone(circuit, o));
     const std::size_t tasks = cones.size() * kRounds;
@@ -171,6 +181,68 @@ std::string bdd_rows_json(const std::vector<BddRow>& rows) {
     return json + "]";
 }
 
+/// One large many-critical-cone circuit + several small adders: the batch
+/// shape whose tail used to leave every worker but one idle.
+std::vector<BatchItem> skewed_batch() {
+    BenchmarkProfile profile;
+    profile.name = "steal_big";
+    profile.num_pis = 16;
+    profile.num_pos = 12;
+    profile.chain_length = 10;
+    profile.num_shared = 4;
+    profile.seed = 23;
+    std::vector<BatchItem> items;
+    items.push_back({"big", synthetic_control_circuit(profile)});
+    for (int i = 0; i < 6; ++i)
+        items.push_back({"small" + std::to_string(i), ripple_carry_adder(4 + (i % 3))});
+    return items;
+}
+
+struct StealResult {
+    int jobs = 0;
+    std::size_t items = 0;
+    double off_seconds = 0.0;
+    double on_seconds = 0.0;
+    bool identical = false;
+};
+
+/// Same skewed batch with stealing off then on, cold caches both times;
+/// `identical` is full-structural-hash equality of every item's output.
+StealResult steal_sweep(const std::vector<BatchItem>& items, const LookaheadParams& params,
+                        int jobs) {
+    auto run_mode = [&](bool steal, std::vector<std::uint64_t>* hashes) {
+        clear_engine_caches();
+        EngineOptions engine;
+        engine.jobs = jobs;
+        engine.steal = steal;
+        Stopwatch sw;
+        const auto outcomes = optimize_timing_batch(items, params, engine);
+        const double seconds = sw.elapsed_seconds();
+        for (const auto& outcome : outcomes) {
+            if (outcome.failed) {
+                std::fprintf(stderr, "BATCH ITEM FAILED: %s: %s\n", outcome.name.c_str(),
+                             outcome.error.c_str());
+                std::exit(1);
+            }
+            hashes->push_back(outcome.output.hash());
+        }
+        return seconds;
+    };
+    StealResult result;
+    result.jobs = jobs;
+    result.items = items.size();
+    std::vector<std::uint64_t> off_hashes, on_hashes;
+    result.off_seconds = run_mode(false, &off_hashes);
+    result.on_seconds = run_mode(true, &on_hashes);
+    result.identical = off_hashes == on_hashes;
+    std::printf("  jobs=%-3d steal off %7.2fs   steal on %7.2fs   speedup %.2fx   outputs %s\n",
+                jobs, result.off_seconds, result.on_seconds,
+                result.off_seconds / result.on_seconds,
+                result.identical ? "identical" : "DIFFER (BUG)");
+    std::fflush(stdout);
+    return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,13 +289,28 @@ int main(int argc, char** argv) {
                 budgeted_identical ? "yes" : "NO (BUG)");
 
     // Shared-vs-private BDD manager on the exact-verification workload.
-    std::printf("shared BDD manager: node BDDs of all %zu PO cones x32 rounds\n", rca.num_pos());
-    const std::vector<BddRow> bdd_rows = bdd_sweep(rca, job_counts);
+    // Capped at a 10-bit adder: with the generator's PI order (all a's,
+    // then all b's) adder cone BDDs grow exponentially in the bit width,
+    // and past ~12 bits they exceed any sane node limit — which used to
+    // kill this bench with an uncaught ResourceExhausted at the default
+    // 16-bit size.
+    const Aig bdd_rca = bits <= 10 ? rca : ripple_carry_adder(10);
+    std::printf("shared BDD manager: node BDDs of all %zu PO cones x32 rounds (%d-bit adder)\n",
+                bdd_rca.num_pos(), bits <= 10 ? bits : 10);
+    const std::vector<BddRow> bdd_rows = bdd_sweep(bdd_rca, job_counts);
     bool bdd_sharing_observed = false;
     for (const auto& row : bdd_rows)
         bdd_sharing_observed = bdd_sharing_observed || row.shared_hit_rate > 0.0;
     std::printf("cross-worker ITE-cache hits observed: %s\n",
                 bdd_sharing_observed ? "yes" : "NO (BUG)");
+
+    // Two-level work stealing on the skewed batch, at the largest job
+    // count (stealing only matters once workers outnumber live items).
+    const int steal_jobs = std::max(2, max_jobs);
+    const std::vector<BatchItem> batch = skewed_batch();
+    std::printf("steal sweep: skewed batch, %zu items (1 big + %zu small), --jobs %d\n",
+                batch.size(), batch.size() - 1, steal_jobs);
+    const StealResult steal = steal_sweep(batch, params, steal_jobs);
 
     std::string json = "{\"circuit\":\"rca" + std::to_string(bits) + "\",\"bits\":" +
                        std::to_string(bits) + ",\"iterations\":" + std::to_string(iterations) +
@@ -234,11 +321,17 @@ int main(int argc, char** argv) {
                        ",\"qor_identical\":" + (budgeted_identical ? "true" : "false") +
                        ",\"runs\":" + rows_json(budgeted_rows) + "}" +
                        ",\"bdd\":{\"sharing_observed\":" + (bdd_sharing_observed ? "true" : "false") +
-                       ",\"runs\":" + bdd_rows_json(bdd_rows) + "}}\n";
+                       ",\"runs\":" + bdd_rows_json(bdd_rows) + "}" +
+                       ",\"steal\":{\"jobs\":" + std::to_string(steal.jobs) +
+                       ",\"items\":" + std::to_string(steal.items) +
+                       ",\"off_seconds\":" + std::to_string(steal.off_seconds) +
+                       ",\"on_seconds\":" + std::to_string(steal.on_seconds) +
+                       ",\"speedup\":" + std::to_string(steal.off_seconds / steal.on_seconds) +
+                       ",\"identical\":" + (steal.identical ? "true" : "false") + "}}\n";
     if (std::FILE* f = std::fopen("BENCH_parallel.json", "w")) {
         std::fputs(json.c_str(), f);
         std::fclose(f);
         std::printf("wrote BENCH_parallel.json\n");
     }
-    return identical && budgeted_identical && bdd_sharing_observed ? 0 : 1;
+    return identical && budgeted_identical && bdd_sharing_observed && steal.identical ? 0 : 1;
 }

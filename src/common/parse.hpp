@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace lls {
 
@@ -24,6 +25,19 @@ inline bool parse_int_option(const char* flag, const char* text, long min_value,
     }
     *out = static_cast<int>(value);
     return true;
+}
+
+/// Job-count option: `"auto"` and `0` both mean "use every hardware
+/// thread" and write 0 — the caller resolves 0 via
+/// `ThreadPool::hardware_jobs()` (this header stays thread-free). A
+/// positive count passes through; everything else is rejected like
+/// `parse_int_option`.
+inline bool parse_jobs_option(const char* flag, const char* text, long max_value, int* out) {
+    if (std::strcmp(text, "auto") == 0) {
+        *out = 0;
+        return true;
+    }
+    return parse_int_option(flag, text, 0, max_value, out);
 }
 
 /// Strict unsigned-64-bit variant (seeds, work budgets). Rejects negative

@@ -10,6 +10,8 @@
 
 #include <mutex>
 
+#include <thread>
+
 #include "aig/aig_build.hpp"
 #include "baseline/restructure.hpp"
 #include "bdd/bdd.hpp"
@@ -131,8 +133,15 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
 
     // The calling thread participates in parallel_for, so a pool of
     // jobs - 1 workers applies exactly `jobs` threads to the cone fan-out.
+    // Under two-level scheduling the run instead publishes its fan-out to
+    // the caller-owned shared pool (batch mode), where freed workers from
+    // completed sibling items pick it up.
     const int jobs = std::max(1, engine.jobs);
-    ThreadPool pool(static_cast<std::size_t>(jobs - 1));
+    std::optional<ThreadPool> own_pool;
+    if (!engine.shared_pool) own_pool.emplace(static_cast<std::size_t>(jobs - 1));
+    ThreadPool& pool = engine.shared_pool ? *engine.shared_pool : *own_pool;
+    MetricCounter& steal_donated = metrics.counter("engine.steal.donated_ranges");
+    MetricCounter& steal_stolen = metrics.counter("engine.steal.stolen_indices");
     // A malformed plan is an entry error, raised before any work starts.
     const FaultPlan fault_plan = FaultPlan::parse(params.fault_plan);
     const std::uint64_t fingerprint = params_fingerprint(params);
@@ -311,7 +320,17 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             std::vector<ConeEvaluation> evaluations(tasks.size());
             {
                 const ScopedTimer evaluate_scope(evaluate_timer);
+                // On a shared pool this range is *donated*: the helper
+                // tasks land in the batch-wide queue where any freed
+                // worker can drain them. An index executed by a thread
+                // other than this item's owner is a stolen index —
+                // observability only, never part of the result.
+                const bool donated =
+                    engine.shared_pool != nullptr && pool.size() > 0 && tasks.size() > 1;
+                if (donated) steal_donated.add();
+                const std::thread::id owner = std::this_thread::get_id();
                 pool.parallel_for(0, tasks.size(), [&](std::size_t i) {
+                    if (donated && std::this_thread::get_id() != owner) steal_stolen.add();
                     if (wall_clock_expired()) return;
                     // Task-boundary backstop: the retry ladder contains
                     // faults inside the evaluation, so anything arriving
@@ -543,6 +562,11 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     if (local.wall_clock_interrupted) wall_clock_stops.add();
     rounds_run.add(static_cast<std::uint64_t>(local.iterations));
     cones_improved.add(static_cast<std::uint64_t>(local.outputs_decomposed));
+    // Indices an exception-aborted fan-out skipped. A run-private pool is
+    // exported here; a shared pool is exported once by the batch that owns
+    // it (the counter is pool-cumulative).
+    if (own_pool && own_pool->aborted_indices() > 0)
+        metrics.counter("engine.pool.aborted_indices").add(own_pool->aborted_indices());
     if (stats) *stats = local;
     return best;
 }
@@ -557,9 +581,21 @@ std::vector<BatchOutcome> optimize_timing_batch(
     const std::function<void(const BatchOutcome&, std::size_t)>& on_complete) {
     std::vector<BatchOutcome> outcomes(items.size());
     const std::size_t jobs = static_cast<std::size_t>(std::max(1, engine.jobs));
-    ThreadPool pool(std::min(jobs - 1, items.empty() ? 0 : items.size() - 1));
+    // Two-level scheduling: every item starts at jobs=1, but with stealing
+    // on the items share one pool, so the per-round cone fan-out of an
+    // in-flight item is published to the same queue the item-level
+    // parallel_for drains. Early in the batch every worker owns a whole
+    // circuit; as items complete, freed workers pick up the donated cone
+    // ranges of the stragglers instead of idling — which is why the pool
+    // keeps all jobs-1 workers even when fewer items than workers remain.
+    // With stealing off, the pool is capped at items-1 workers as before
+    // (extra workers could never get work).
+    const bool steal = engine.steal && jobs > 1 && items.size() > 1;
+    ThreadPool pool(steal ? jobs - 1
+                          : std::min(jobs - 1, items.empty() ? 0 : items.size() - 1));
     EngineOptions per_item = engine;
-    per_item.jobs = 1;  // circuit-level parallelism dominates in a batch
+    per_item.jobs = 1;  // item-level parallelism still dominates a full batch
+    per_item.shared_pool = steal ? &pool : nullptr;
     std::mutex complete_mutex;
     pool.parallel_for(0, items.size(), [&](std::size_t i) {
         Stopwatch item_clock;
@@ -585,6 +621,12 @@ std::vector<BatchOutcome> optimize_timing_batch(
             on_complete(outcomes[i], i);
         }
     });
+    // Pool-lifetime observability: time threads spent waiting idle in
+    // parallel_for (the cost stealing exists to shrink) and indices any
+    // aborted fan-out skipped.
+    if (steal) Metrics::global().timer("engine.steal.idle_wait").add_nanos(pool.idle_wait_nanos());
+    if (pool.aborted_indices() > 0)
+        Metrics::global().counter("engine.pool.aborted_indices").add(pool.aborted_indices());
     return outcomes;
 }
 

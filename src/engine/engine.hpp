@@ -12,6 +12,7 @@
 
 namespace lls {
 
+class ThreadPool;
 class WarmStart;
 
 /// Execution knobs of the concurrent optimization engine. These control
@@ -50,6 +51,25 @@ struct EngineOptions {
     /// Imported entries replay their stored WorkCost, so budgeted warm
     /// runs stay bit-identical to cold ones. Not owned.
     WarmStart* warm_start = nullptr;
+
+    /// Externally owned pool to fan each round's cone evaluations across,
+    /// instead of a run-private pool sized from `jobs`. This is the
+    /// two-level scheduling hook: `optimize_timing_batch` points every
+    /// in-flight item at the one batch pool, so the per-round
+    /// `parallel_for` publishes its index range to a queue that *freed*
+    /// workers — threads whose own items have completed — also drain.
+    /// Requires the pool's reentrant `parallel_for` (the round fan-out
+    /// runs from inside a pool task). Purely an execution knob: commits
+    /// stay serial per item in deterministic cone order, so outputs are
+    /// byte-identical with and without a shared pool. Not owned.
+    ThreadPool* shared_pool = nullptr;
+
+    /// Batch mode only: donate in-flight items' cone fan-out to freed
+    /// workers via a shared pool (see `shared_pool`). Off restores the
+    /// pre-stealing schedule — each circuit strictly serial on one worker
+    /// — as an escape hatch (`lls_opt --steal off`). Outputs are
+    /// byte-identical either way.
+    bool steal = true;
 };
 
 /// The paper's timing-driven flow, executed by the concurrent engine: each
@@ -81,9 +101,15 @@ struct BatchOutcome {
 };
 
 /// Optimizes every item of a batch, running up to `engine.jobs` circuits
-/// concurrently (each circuit itself serial — circuit-level parallelism
-/// dominates when there are many inputs). Outcomes are returned in input
-/// order regardless of completion order.
+/// concurrently. Each item starts serial (circuit-level parallelism
+/// dominates while there are more circuits than workers), but with
+/// `engine.steal` on the items share one pool: as circuits complete and
+/// workers free up, they join the per-round cone fan-out of the items
+/// still running, so a batch's skewed tail no longer serializes on its
+/// largest circuit (docs/ENGINE.md, "Two-level scheduling"). Commits stay
+/// serial per item in deterministic cone order, so outputs are
+/// byte-identical across `jobs` values and steal on/off. Outcomes are
+/// returned in input order regardless of completion order.
 ///
 /// Any exception escaping one item is contained at the item boundary: the
 /// outcome is marked `failed`, its output degrades to the unmodified

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <sstream>
@@ -135,6 +136,132 @@ TEST(Engine, BatchMatchesIndividualRuns) {
         EXPECT_EQ(outcomes[i].output.depth(), individual.depth) << items[i].name;
         EXPECT_EQ(outcomes[i].output.count_reachable_ands(), individual.ands) << items[i].name;
     }
+}
+
+/// A deliberately skewed batch: one circuit with many equally-critical
+/// cones (wide per-round fan-out, the stealing target) plus several small
+/// adders that finish quickly and free their workers.
+std::vector<BatchItem> skewed_batch() {
+    BenchmarkProfile profile;
+    profile.name = "steal_big";
+    profile.num_pis = 14;
+    profile.num_pos = 8;
+    profile.chain_length = 9;
+    profile.num_shared = 3;
+    profile.seed = 23;
+    std::vector<BatchItem> items;
+    items.push_back({"big", synthetic_control_circuit(profile)});
+    items.push_back({"small0", ripple_carry_adder(4)});
+    items.push_back({"small1", ripple_carry_adder(5)});
+    items.push_back({"small2", ripple_carry_adder(6)});
+    return items;
+}
+
+std::vector<std::string> batch_aigers(const std::vector<BatchItem>& items, int jobs, bool steal) {
+    // Cold caches every run: a warm memo would mask any schedule-dependence
+    // this test exists to catch.
+    clear_engine_caches();
+    LookaheadParams params;
+    params.max_iterations = 5;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    engine.steal = steal;
+    const auto outcomes = optimize_timing_batch(items, params, engine);
+    std::vector<std::string> aigers;
+    for (const auto& outcome : outcomes) {
+        EXPECT_FALSE(outcome.failed) << outcome.name;
+        std::stringstream aag;
+        write_aiger(aag, outcome.output);
+        aigers.push_back(aag.str());
+    }
+    return aigers;
+}
+
+TEST(Engine, BatchStealingIsByteIdenticalAcrossJobsAndModes) {
+    // The two-level scheduler is an execution knob: freed workers joining
+    // another item's cone fan-out must never change what that item
+    // commits. Full serialized bytes, not just QoR, across jobs values and
+    // both sides of the switch.
+    const auto items = skewed_batch();
+    const auto baseline = batch_aigers(items, 1, /*steal=*/false);
+    ASSERT_EQ(baseline.size(), items.size());
+    for (const int jobs : {2, 4}) {
+        EXPECT_EQ(batch_aigers(items, jobs, /*steal=*/true), baseline) << "steal jobs=" << jobs;
+        EXPECT_EQ(batch_aigers(items, jobs, /*steal=*/false), baseline)
+            << "no-steal jobs=" << jobs;
+    }
+    EXPECT_EQ(batch_aigers(items, 1, /*steal=*/true), baseline);
+}
+
+TEST(Engine, BatchStealingDonatesRangesToSharedPool) {
+    // With stealing on and more than one worker, in-flight items publish
+    // their multi-cone rounds to the shared pool; the donation counter is
+    // deterministic (it counts rounds, not schedule-dependent steals).
+    Metrics& metrics = Metrics::global();
+    const std::uint64_t donated_before = metrics.counter("engine.steal.donated_ranges").value();
+    batch_aigers(skewed_batch(), 4, /*steal=*/true);
+    EXPECT_GT(metrics.counter("engine.steal.donated_ranges").value(), donated_before);
+
+    // With stealing off there is no shared pool, so nothing is donated.
+    const std::uint64_t donated_mid = metrics.counter("engine.steal.donated_ranges").value();
+    batch_aigers(skewed_batch(), 4, /*steal=*/false);
+    EXPECT_EQ(metrics.counter("engine.steal.donated_ranges").value(), donated_mid);
+}
+
+TEST(Engine, OnCompleteNeverRunsConcurrentlyUnderStealing) {
+    // The checkpoint hook's serialization guarantee must survive the
+    // shared-pool rework: journal writers rely on never being entered
+    // concurrently.
+    const auto items = skewed_batch();
+    LookaheadParams params;
+    params.max_iterations = 5;
+    EngineOptions engine;
+    engine.jobs = 4;
+    engine.steal = true;
+    std::atomic<int> in_hook{0};
+    std::vector<int> seen(items.size(), 0);
+    const auto outcomes = optimize_timing_batch(
+        items, params, engine, [&](const BatchOutcome& outcome, std::size_t index) {
+            EXPECT_EQ(in_hook.fetch_add(1), 0) << "on_complete entered concurrently";
+            ASSERT_LT(index, seen.size());
+            ++seen[index];
+            EXPECT_EQ(outcome.name, items[index].name);
+            in_hook.fetch_sub(1);
+        });
+    ASSERT_EQ(outcomes.size(), items.size());
+    for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(Checkpoint, ResumedItemsMatchUninterruptedRunUnderStealing) {
+    // The --resume property under two-level scheduling: an interrupted
+    // steal-enabled batch re-running only its tail must reproduce the
+    // uninterrupted bytes — stealing must not let one item's schedule leak
+    // into another item's output.
+    const auto items = skewed_batch();
+    clear_engine_caches();
+    LookaheadParams params;
+    params.max_iterations = 5;
+    EngineOptions engine;
+    engine.jobs = 4;
+    engine.steal = true;
+
+    auto aiger_of = [](const BatchOutcome& outcome) {
+        std::stringstream aag;
+        write_aiger(aag, outcome.output);
+        return aag.str();
+    };
+
+    const auto full = optimize_timing_batch(items, params, engine);
+    ASSERT_EQ(full.size(), items.size());
+
+    // Crash after the first two items were journaled; the resumed batch
+    // (still steal-enabled) only contains the tail.
+    clear_engine_caches();
+    std::vector<BatchItem> resumed_items = {items[2], items[3]};
+    const auto resumed = optimize_timing_batch(resumed_items, params, engine);
+    ASSERT_EQ(resumed.size(), 2u);
+    EXPECT_EQ(aiger_of(resumed[0]), aiger_of(full[2]));
+    EXPECT_EQ(aiger_of(resumed[1]), aiger_of(full[3]));
 }
 
 /// Full byte-level fingerprint of a budgeted run: the serialized output AIG

@@ -59,5 +59,29 @@ TEST(ParseU64, RejectsNegativeGarbageAndOverflow) {
     EXPECT_EQ(out, 77u);
 }
 
+TEST(ParseJobs, AutoAndZeroMeanWholeMachine) {
+    // "auto" and 0 both resolve to the sentinel 0; the caller maps it to
+    // ThreadPool::hardware_jobs(). Before this existed, the only way to
+    // use the whole machine was to know the core count.
+    int out = -1;
+    EXPECT_TRUE(parse_jobs_option("--jobs", "auto", 1024, &out));
+    EXPECT_EQ(out, 0);
+    out = -1;
+    EXPECT_TRUE(parse_jobs_option("--jobs", "0", 1024, &out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(parse_jobs_option("--jobs", "8", 1024, &out));
+    EXPECT_EQ(out, 8);
+}
+
+TEST(ParseJobs, RejectsGarbageAndOutOfRange) {
+    int out = 7;
+    EXPECT_FALSE(parse_jobs_option("--jobs", "automatic", 1024, &out));
+    EXPECT_FALSE(parse_jobs_option("--jobs", "Auto", 1024, &out));
+    EXPECT_FALSE(parse_jobs_option("--jobs", "-1", 1024, &out));
+    EXPECT_FALSE(parse_jobs_option("--jobs", "4x", 1024, &out));
+    EXPECT_FALSE(parse_jobs_option("--jobs", "2048", 1024, &out));
+    EXPECT_EQ(out, 7);
+}
+
 }  // namespace
 }  // namespace lls

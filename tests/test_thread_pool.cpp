@@ -7,6 +7,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace lls {
@@ -99,6 +100,100 @@ TEST(ThreadPool, UnevenTaskCostsStillComplete) {
 }
 
 TEST(ThreadPool, HardwareJobsIsPositive) { EXPECT_GE(ThreadPool::hardware_jobs(), 1u); }
+
+TEST(ThreadPool, NestedParallelForTwoDeepFromEveryWorker) {
+    // Regression test for the nested-parallel_for deadlock: before the
+    // help-while-waiting fix, a parallel_for called from a pool task
+    // submitted helpers to a queue whose workers were all blocked in
+    // h.get() on those same helpers — no worker was ever free to drain
+    // them. Nest two deep with more outer indices than threads so every
+    // worker is guaranteed to issue nested calls concurrently.
+    ThreadPool pool(4);
+    constexpr std::size_t kOuter = 12, kMid = 8, kInner = 6;
+    std::atomic<std::size_t> leaves{0};
+    pool.parallel_for(0, kOuter, [&](std::size_t) {
+        pool.parallel_for(0, kMid, [&](std::size_t) {
+            pool.parallel_for(0, kInner, [&](std::size_t) {
+                leaves.fetch_add(1, std::memory_order_relaxed);
+            });
+        });
+    });
+    EXPECT_EQ(leaves.load(), kOuter * kMid * kInner);
+}
+
+TEST(ThreadPool, NestedParallelForSingleWorker) {
+    // The smallest pool that could deadlock: one worker, whose task nests.
+    ThreadPool pool(1);
+    std::atomic<int> leaves{0};
+    pool.parallel_for(0, 4, [&](std::size_t) {
+        pool.parallel_for(0, 4, [&](std::size_t) { leaves.fetch_add(1); });
+    });
+    EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerExceptions) {
+    ThreadPool pool(3);
+    std::atomic<int> outer_failures{0};
+    pool.parallel_for(0, 6, [&](std::size_t) {
+        try {
+            pool.parallel_for(0, 8, [&](std::size_t j) {
+                if (j == 3) throw std::runtime_error("inner");
+            });
+        } catch (const std::runtime_error&) {
+            outer_failures.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(outer_failures.load(), 6);
+}
+
+TEST(ThreadPool, SubmitFromRunningTaskCompletes) {
+    // A task submitting to its own pool must not deadlock, and the inner
+    // future must become ready even when the pool is being torn down
+    // around it: submit during shutdown runs the task inline instead of
+    // leaving it stranded in a queue no worker will drain again.
+    std::future<int> inner;
+    std::atomic<bool> inner_submitted{false};
+    {
+        ThreadPool pool(1);
+        pool.submit([&pool, &inner, &inner_submitted] {
+            // Give the destructor (entered by the main thread as soon as
+            // submit returns) a chance to raise stopping_ first; both
+            // orderings are legal, and in both the future must resolve.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            inner = pool.submit([] { return 99; });
+            inner_submitted.store(true);
+        });
+    }  // ~ThreadPool: stopping_ raised while the task sleeps, then joined
+    ASSERT_TRUE(inner_submitted.load());
+    ASSERT_EQ(inner.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "task submitted during shutdown was stranded";
+    EXPECT_EQ(inner.get(), 99);
+}
+
+TEST(ThreadPool, AbortedParallelForCountsSkippedIndices) {
+    // When an iteration throws, the remaining indices are skipped — and
+    // must be accounted for, not silently dropped: a partial fan-out that
+    // looks complete would corrupt any caller that trusts the range.
+    ThreadPool pool(2);
+    constexpr std::size_t kN = 500;
+    std::atomic<std::size_t> completed{0}, failures{0};
+    EXPECT_THROW(pool.parallel_for(0, kN,
+                                   [&](std::size_t i) {
+                                       if (i == 3) {
+                                           failures.fetch_add(1);
+                                           throw std::logic_error("abort");
+                                       }
+                                       completed.fetch_add(1);
+                                   }),
+                 std::logic_error);
+    EXPECT_EQ(pool.aborted_indices(), kN - completed.load() - failures.load());
+    EXPECT_GT(pool.aborted_indices(), 0u);
+
+    // A clean follow-up range adds nothing to the counter.
+    const std::uint64_t before = pool.aborted_indices();
+    pool.parallel_for(0, 100, [](std::size_t) {});
+    EXPECT_EQ(pool.aborted_indices(), before);
+}
 
 }  // namespace
 }  // namespace lls

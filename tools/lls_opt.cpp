@@ -6,7 +6,12 @@
 // Options:
 //   --flow sis|abc|dc|lookahead   optimization flow (default: lookahead)
 //   --iterations N                lookahead decomposition rounds (default 10)
-//   --jobs N                      worker threads (cone fan-out; batch circuits)
+//   --jobs N|auto                 worker threads (cone fan-out; batch circuits);
+//                                 auto (or 0) = every hardware thread
+//   --steal on|off                batch mode: freed workers join the cone
+//                                 fan-out of still-running circuits (default
+//                                 on; off = each circuit strictly serial on
+//                                 one worker); outputs byte-identical either way
 //   --shared-bdd on|off           share one concurrency-safe BDD manager across
 //                                 the run's workers (default on; off = private
 //                                 per-call managers, the pre-refactor behavior)
@@ -59,6 +64,7 @@
 #include "common/fault.hpp"
 #include "common/parse.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/engine.hpp"
 #include "engine/metrics.hpp"
@@ -74,8 +80,9 @@ namespace {
 
 int usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N]\n"
-                 "          [--shared-bdd on|off] [--work-budget N] [--fault-inject SPEC]\n"
+                 "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N|auto]\n"
+                 "          [--steal on|off] [--shared-bdd on|off] [--work-budget N]\n"
+                 "          [--fault-inject SPEC]\n"
                  "          [--cache-dir DIR] [--cache-mode read|write|rw|off]\n"
                  "          [--no-verify] [--map]\n"
                  "          [--aiger PATH] [--verilog PATH] [--stats] [--metrics]\n"
@@ -120,7 +127,7 @@ int main(int argc, char** argv) {
     int jobs = 1;
     std::uint64_t work_budget = 0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
-    bool batch = false, resume = false, shared_bdd = true;
+    bool batch = false, resume = false, shared_bdd = true, steal = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -130,7 +137,17 @@ int main(int argc, char** argv) {
             if (!lls::parse_int_option("--iterations", argv[++i], 0, 1000000, &iterations))
                 return usage(argv[0]);
         } else if (arg == "--jobs" && i + 1 < argc) {
-            if (!lls::parse_int_option("--jobs", argv[++i], 1, 1024, &jobs)) return usage(argv[0]);
+            if (!lls::parse_jobs_option("--jobs", argv[++i], 1024, &jobs)) return usage(argv[0]);
+        } else if (arg == "--steal" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            if (value == "on") {
+                steal = true;
+            } else if (value == "off") {
+                steal = false;
+            } else {
+                std::fprintf(stderr, "error: --steal expects on|off, got '%s'\n", value.c_str());
+                return usage(argv[0]);
+            }
         } else if (arg == "--shared-bdd" && i + 1 < argc) {
             const std::string value = argv[++i];
             if (value == "on") {
@@ -187,12 +204,17 @@ int main(int argc, char** argv) {
     }
     if (inputs.empty()) return usage(argv[0]);
 
+    // --jobs auto (or 0) resolves to the whole machine here, once, so every
+    // later report prints the actual thread count in use.
+    if (jobs == 0) jobs = static_cast<int>(lls::ThreadPool::hardware_jobs());
+
     lls::LookaheadParams params;
     params.max_iterations = iterations;
     params.work_budget = work_budget;
     lls::EngineOptions engine;
     engine.jobs = jobs;
     engine.shared_bdd = shared_bdd;
+    engine.steal = steal;
 
     // Fault injection: engine-site specs are forwarded through the params
     // (they are part of what the evaluations compute); `fatal@batch:N` is a

@@ -3,11 +3,14 @@
 # determinism check of the CLI (same circuit + work budget at several
 # --jobs values must produce byte-identical outputs), a shared-BDD-manager
 # identity check (shared and private managers must produce the same bytes
-# at every --jobs value), fault-injection and checkpoint/resume checks of
-# the containment subsystem, persistent-memo-store checks (warm runs
-# byte-identical to cold across --jobs, corrupted stores degrade to cold
-# start), then the concurrency-sensitive engine/bdd/parse/io/persist tests
-# under ThreadSanitizer.
+# at every --jobs value), a batch steal-invariance check (outputs
+# byte-identical across --jobs 1/2/4 x --steal on/off), fault-injection
+# and checkpoint/resume checks of the containment subsystem (including a
+# steal-enabled crash/resume cycle), persistent-memo-store checks (warm
+# runs byte-identical to cold across --jobs, corrupted stores degrade to
+# cold start), then the concurrency-sensitive engine/bdd/parse/io/persist
+# tests — including the nested-parallel_for deadlock regressions in
+# test_thread_pool — under ThreadSanitizer.
 #
 #   tools/run_checks.sh [--skip-tsan]
 #
@@ -60,6 +63,27 @@ for circuit in tests/data/rca16.blif tests/data/control24.blif; do
     echo "$name: shared-BDD outputs identical for --jobs 1/2/4 and to --shared-bdd off"
 done
 
+echo "== stage 2c: batch outputs are jobs- and steal-invariant =="
+# Two-level work stealing is an execution knob: batch outputs must be
+# byte-identical across --jobs 1/2/4 x --steal on/off. The --jobs 1 --steal
+# off corner is the old strictly-serial schedule; --jobs 4 --steal on has
+# freed workers joining other items' cone fan-outs.
+for j in 1 2 4; do
+    for s in on off; do
+        ./build/tools/lls_opt --batch --jobs "$j" --steal "$s" \
+            --out-dir "$WORKDIR/batch.j$j.$s" \
+            tests/data/rca16.blif tests/data/control24.blif > /dev/null
+    done
+done
+for j in 1 2 4; do
+    for s in on off; do
+        for name in rca16 control24; do
+            cmp "$WORKDIR/batch.j1.off/$name.blif" "$WORKDIR/batch.j$j.$s/$name.blif"
+        done
+    done
+done
+echo "batch outputs identical across --jobs 1/2/4 x --steal on/off"
+
 echo "== stage 3: fault injection never aborts and stays jobs-invariant =="
 # Every engine site class, injected on the regression circuits: the run must
 # exit 0 (contained, not crashed), verify equivalence, and produce the same
@@ -107,6 +131,21 @@ rc=0
 cmp "$WORKDIR/full/rca16.blif" "$WORKDIR/resumed/rca16.blif"
 cmp "$WORKDIR/full/control24.blif" "$WORKDIR/resumed/control24.blif"
 echo "checkpoint/resume outputs identical to uninterrupted run"
+
+# The same crash/resume cycle with stealing enabled and more workers than
+# items: an interrupted steal-enabled batch must resume byte-identical too.
+rc=0
+./build/tools/lls_opt --batch tests/data/rca16.blif tests/data/control24.blif \
+    --out-dir "$WORKDIR/resumed-steal" --jobs 4 --steal on \
+    --checkpoint "$WORKDIR/ckpt-steal.txt" \
+    --fault-inject fatal@batch:1 > /dev/null 2>&1 || rc=$?
+[[ "$rc" == 42 ]] || { echo "expected simulated crash exit 42, got $rc"; exit 1; }
+./build/tools/lls_opt --batch tests/data/rca16.blif tests/data/control24.blif \
+    --out-dir "$WORKDIR/resumed-steal" --jobs 4 --steal on \
+    --checkpoint "$WORKDIR/ckpt-steal.txt" --resume > /dev/null
+cmp "$WORKDIR/full/rca16.blif" "$WORKDIR/resumed-steal/rca16.blif"
+cmp "$WORKDIR/full/control24.blif" "$WORKDIR/resumed-steal/control24.blif"
+echo "steal-enabled checkpoint/resume outputs identical to uninterrupted run"
 
 echo "== stage 4b: persistent store warm runs are byte-identical =="
 # Cold run populates the cache directory; warm runs at several --jobs
