@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "engine/metrics.hpp"
 
@@ -71,6 +72,10 @@ void BddManager::store_word(std::size_t index, std::uint64_t word) {
 
 BddManager::Ref BddManager::make_node(int var, Ref low, Ref high) {
     if (low == high) return low;
+    // Every BDD operation funnels through node construction, so this one
+    // poll bounds an exponentially blowing-up ITE recursion in wall-clock
+    // time the same way node_limit_ bounds it in count.
+    poll_cancellation("bdd");
     const std::uint64_t key = pack(var, low, high);
     Shard& shard = shards_[U64Hash{}(key) % kShards];
     const std::lock_guard<std::mutex> lock(shard.mutex);
@@ -147,6 +152,7 @@ BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
 
     Ref cached;
     if (ite_cache_get(f, g, h, &cached)) return cached;
+    poll_cancellation("bdd");
 
     const std::uint64_t wf = node_word(f), wg = node_word(g), wh = node_word(h);
     const int top = std::min({word_var(wf), word_var(wg), word_var(wh)});

@@ -1,0 +1,158 @@
+#pragma once
+
+// Cooperative cancellation: tokens, deadlines, and cheap polls.
+//
+// Two cancellation sources share one mechanism:
+//
+//   - CancelToken: a process- or batch-level "stop now" request (SIGTERM /
+//     SIGINT installs one). Cross-thread, sticky, relaxed-atomic.
+//   - Deadline: a per-cone wall-clock watchdog (`--cone-deadline`). Armed
+//     when the cone evaluation starts; expiry is checked only every
+//     kCancelPollPeriod polls so the common path never reads the clock.
+//
+// Hot loops call `poll_cancellation(stage)` — SAT decide loop, BDD node
+// construction, decomposition / simplification / exact-synthesis inner
+// loops. The poll reads one thread-local struct and one relaxed atomic;
+// with no scope installed it is a couple of predictable branches. When a
+// source fires, the poll throws LlsError{Cancelled}, which the engine's
+// existing per-cone fault boundary contains exactly like a PR 3 fault:
+// the cone degrades to its original form with a FaultRecord.
+//
+// The two sources are told apart *after* the throw: if the active token
+// was requested, it is a shutdown (propagate, stop dispatching); otherwise
+// the cone's deadline fired (contain, flag nondeterministic, never memoize
+// — deadline expiry depends on wall clock, so a deadline-cancelled
+// evaluation must not poison caches that byte-identity relies on).
+//
+// Scopes nest via RAII save/restore, which keeps them correct under the
+// thread pool's help-while-waiting execution: a worker that inlines
+// another cone's task installs that task's scope and restores its own on
+// return.
+
+#include <atomic>
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace lls {
+
+/// Sticky cross-thread cancellation request. `request()` may be called
+/// from any thread — including a signal handler: it is a single relaxed
+/// atomic store, which is async-signal-safe.
+class CancelToken {
+public:
+    void request() { requested_.store(true, std::memory_order_relaxed); }
+    bool requested() const { return requested_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<bool> requested_{false};
+};
+
+/// Wall-clock deadline. Default-constructed deadlines are unarmed and
+/// never expire; `after_seconds` arms one relative to now.
+class Deadline {
+public:
+    Deadline() = default;
+
+    static Deadline after_seconds(double seconds) {
+        Deadline d;
+        d.armed_ = true;
+        d.expiry_ = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    bool armed() const { return armed_; }
+
+    /// Reads the clock; call sites that poll frequently should go through
+    /// `cancel_pending()`, which amortizes this check.
+    bool expired() const { return armed_ && std::chrono::steady_clock::now() >= expiry_; }
+
+private:
+    bool armed_ = false;
+    std::chrono::steady_clock::time_point expiry_{};
+};
+
+/// Clock reads happen at most once per this many polls. The first poll in
+/// a fresh scope always checks (countdown starts at zero), so an
+/// already-expired deadline cancels on the very first poll.
+inline constexpr unsigned kCancelPollPeriod = 256;
+
+/// Thread-local cancellation context installed by CancelScope.
+struct CancelState {
+    const CancelToken* token = nullptr;
+    const Deadline* deadline = nullptr;
+    bool deadline_fired = false;  ///< latch: expiry is checked once, then sticky
+    unsigned countdown = 0;       ///< polls remaining until the next clock read
+};
+
+namespace detail {
+inline CancelState& cancel_state() {
+    thread_local CancelState state;
+    return state;
+}
+}  // namespace detail
+
+/// RAII scope: installs (token, deadline) for the current thread, restores
+/// the previous state on destruction. Either pointer may be null. The
+/// pointees must outlive the scope.
+class CancelScope {
+public:
+    CancelScope(const CancelToken* token, const Deadline* deadline) {
+        CancelState& s = detail::cancel_state();
+        saved_ = s;
+        s.token = token;
+        s.deadline = deadline;
+        s.deadline_fired = false;
+        s.countdown = 0;
+    }
+    ~CancelScope() { detail::cancel_state() = saved_; }
+
+    CancelScope(const CancelScope&) = delete;
+    CancelScope& operator=(const CancelScope&) = delete;
+
+private:
+    CancelState saved_;
+};
+
+/// True when the active scope's token was requested or its deadline has
+/// expired. No-throw; safe to call with no scope installed (returns
+/// false). This is the cheap poll: a relaxed atomic load plus a counter
+/// decrement on the common path.
+inline bool cancel_pending() {
+    CancelState& s = detail::cancel_state();
+    if (s.token != nullptr && s.token->requested()) return true;
+    if (s.deadline_fired) return true;
+    if (s.deadline == nullptr || !s.deadline->armed()) return false;
+    if (s.countdown > 0) {
+        --s.countdown;
+        return false;
+    }
+    s.countdown = kCancelPollPeriod - 1;
+    if (s.deadline->expired()) {
+        s.deadline_fired = true;
+        return true;
+    }
+    return false;
+}
+
+/// True when the active scope's *token* (not deadline) was requested —
+/// what the engine checks after catching a Cancelled error to distinguish
+/// process shutdown from a fired cone watchdog.
+inline bool cancel_requested_by_token() {
+    const CancelState& s = detail::cancel_state();
+    return s.token != nullptr && s.token->requested();
+}
+
+/// The poll hot loops call: throws LlsError{Cancelled} at `stage` when a
+/// cancellation source fired, otherwise returns immediately.
+inline void poll_cancellation(const char* stage) {
+    if (!cancel_pending()) return;
+    const CancelState& s = detail::cancel_state();
+    const bool shutdown = s.token != nullptr && s.token->requested();
+    throw LlsError(ErrorKind::Cancelled,
+                   shutdown ? "cancellation requested" : "cone deadline expired", stage);
+}
+
+}  // namespace lls

@@ -26,6 +26,7 @@ enum class ErrorKind {
     VerificationFailed,  ///< an equivalence check failed or could not be resolved
     InvariantViolation,  ///< an internal contract was broken
     IoError,             ///< filesystem open/read/write failure
+    Cancelled,           ///< cooperative cancellation: shutdown token or cone deadline
 };
 
 inline const char* error_kind_name(ErrorKind kind) {
@@ -36,8 +37,32 @@ inline const char* error_kind_name(ErrorKind kind) {
         case ErrorKind::VerificationFailed: return "verify";
         case ErrorKind::InvariantViolation: return "invariant";
         case ErrorKind::IoError: return "io";
+        case ErrorKind::Cancelled: return "cancelled";
     }
     return "unknown";
+}
+
+// Documented process exit codes (printed by `lls_opt --help`). 0 = success,
+// 1 = non-equivalent result in single-circuit mode, 2 = usage error,
+// 42 = simulated fatal crash (`fatal@batch:N`). Library failures map per
+// ErrorKind below; kExitSignalShutdown is "terminated by signal, checkpoint
+// flushed" — distinct so scripts know `--resume` will continue cleanly.
+inline constexpr int kExitNotEquivalent = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitSignalShutdown = 30;
+inline constexpr int kExitSimulatedCrash = 42;
+
+inline int exit_code_for(ErrorKind kind) {
+    switch (kind) {
+        case ErrorKind::ParseError: return 10;
+        case ErrorKind::ResourceExhausted: return 11;
+        case ErrorKind::SolverLimit: return 12;
+        case ErrorKind::VerificationFailed: return 13;
+        case ErrorKind::InvariantViolation: return 14;
+        case ErrorKind::IoError: return 15;
+        case ErrorKind::Cancelled: return 16;
+    }
+    return 14;
 }
 
 class LlsError : public std::runtime_error {

@@ -5,7 +5,7 @@
 // A FaultPlan is parsed from the spec grammar `kind@site[:count]`
 // (comma-separated for several specs):
 //
-//   kind  := parse | resource | solver | verify | invariant | io | fatal
+//   kind  := parse | resource | solver | verify | invariant | io | cancel | fatal
 //   site  := decompose | spcf | sat | cec | ...   (engine sites)
 //            batch                                (CLI-level fatal site)
 //   count := how many retry-ladder rungs the fault poisons (default 1);
@@ -159,6 +159,10 @@ private:
         else if (kind == "verify") spec.kind = ErrorKind::VerificationFailed;
         else if (kind == "invariant") spec.kind = ErrorKind::InvariantViolation;
         else if (kind == "io") spec.kind = ErrorKind::IoError;
+        // "cancelled" is error_kind_name(Cancelled) — accepted too so the
+        // canonical engine_spec() form re-parses (the CLI round-trips plans
+        // through it before they reach the engine).
+        else if (kind == "cancel" || kind == "cancelled") spec.kind = ErrorKind::Cancelled;
         else if (kind == "fatal") spec.fatal = true;
         else
             throw LlsError(ErrorKind::ParseError, "unknown fault kind '" + kind + "'",

@@ -128,6 +128,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     MetricCounter& fault_records = metrics.counter("engine.fault.records");
     MetricCounter& fault_recovered = metrics.counter("engine.fault.recovered");
     MetricCounter& fault_degraded = metrics.counter("engine.fault.degraded");
+    MetricCounter& deadline_cancels = metrics.counter("engine.cancel.deadline_cancelled");
+    MetricCounter& shutdown_stops = metrics.counter("engine.cancel.shutdowns");
     const ScopedTimer total_scope(total_timer);
     metrics.counter("engine.runs").add();
 
@@ -175,6 +177,15 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     WorkBudget budget(params.work_budget);
     Stopwatch wall_clock;
     std::atomic<bool> wall_clock_fired{false};
+    // Process/batch-level cooperative cancellation. The serial stages run
+    // under this scope (token only — the per-cone watchdog is armed inside
+    // each evaluation), so a SIGTERM reaches the polls in SAT sweeping and
+    // CEC too; the Cancelled error it raises is caught around the passes
+    // below and the best verified circuit so far is returned.
+    auto shutdown_requested = [&]() {
+        return engine.cancel != nullptr && engine.cancel->requested();
+    };
+    const CancelScope serial_cancel_scope(engine.cancel, nullptr);
     auto wall_clock_expired = [&]() {
         if (wall_clock_fired.load(std::memory_order_relaxed)) return true;
         if (params.time_budget_seconds > 0.0 &&
@@ -226,6 +237,15 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         const std::uint64_t cone_hash = cone.hash();
         auto compute = [&]() -> ConeEvaluation {
             cones_evaluated.add();
+            // Watchdog: arm the per-cone deadline (when configured) and
+            // expose the shutdown token to every poll site this evaluation
+            // reaches — the SAT solve loop, BDD node construction, and the
+            // decomposition inner loops all poll this scope.
+            const Deadline cone_deadline = params.cone_deadline_seconds > 0.0
+                                               ? Deadline::after_seconds(
+                                                     params.cone_deadline_seconds)
+                                               : Deadline();
+            const CancelScope cancel_scope(engine.cancel, &cone_deadline);
             ConeEvaluation evaluation;
             constexpr int kNumRungs = 3;
             static const char* const kRungLabel[kNumRungs] = {"base", "escalated-sat",
@@ -254,9 +274,15 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     }
                     break;
                 } catch (const std::exception& e) {
+                    const ErrorKind kind = error_kind_of(e);
+                    // A shutdown cancellation propagates: the whole round is
+                    // about to be discarded, so nothing is recorded or
+                    // memoized for this cone — `--resume` re-evaluates it
+                    // from scratch, byte-identically.
+                    if (kind == ErrorKind::Cancelled && shutdown_requested()) throw;
                     if (!faulted) {
                         faulted = true;
-                        record.kind = error_kind_of(e);
+                        record.kind = kind;
                         const auto* lls_error = dynamic_cast<const LlsError*>(&e);
                         record.stage = lls_error && !lls_error->stage().empty()
                                            ? lls_error->stage()
@@ -264,7 +290,16 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                         record.detail = e.what();
                     } else {
                         record.retries.push_back(std::string(kRungLabel[rung]) + ": " +
-                                                 error_kind_name(error_kind_of(e)));
+                                                 error_kind_name(kind));
+                    }
+                    // A fired cone watchdog (or an injected `cancel` fault
+                    // exercising its path) ends the ladder immediately:
+                    // retrying under an already-expired deadline cannot
+                    // complete, and the outcome depends on wall clock, so
+                    // the evaluation is flagged to keep it out of the memo.
+                    if (kind == ErrorKind::Cancelled) {
+                        evaluation.timing_dependent = true;
+                        break;
                     }
                 }
             }
@@ -280,7 +315,9 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             return std::move(*cached);
         }
         ConeEvaluation value = compute();
-        decompose_memo().put(key, value);
+        // Timing-dependent (deadline-cancelled) evaluations are a function
+        // of wall clock, not of (cone, params): never memoize them.
+        if (!value.timing_dependent) decompose_memo().put(key, value);
         return value;
     };
 
@@ -289,7 +326,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         constexpr int kMaxPlateau = 2;
         bool touched = false;
         for (int iter = 0; iter < params.max_iterations && !budget.exhausted(); ++iter) {
-            if (wall_clock_expired()) break;
+            if (wall_clock_expired() || shutdown_requested()) break;
             const int depth = current.depth();
             if (depth < 2) break;
             const auto levels = current.compute_levels();
@@ -331,7 +368,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 const std::thread::id owner = std::this_thread::get_id();
                 pool.parallel_for(0, tasks.size(), [&](std::size_t i) {
                     if (donated && std::this_thread::get_id() != owner) steal_stolen.add();
-                    if (wall_clock_expired()) return;
+                    // Stop dispatching: tasks that have not started yet are
+                    // skipped outright once a shutdown is requested (the
+                    // round below is discarded anyway).
+                    if (wall_clock_expired() || shutdown_requested()) return;
                     // Task-boundary backstop: the retry ladder contains
                     // faults inside the evaluation, so anything arriving
                     // here escaped outside it (cone extraction, the memo
@@ -340,6 +380,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     try {
                         evaluations[i] = evaluate_cone(current, tasks[i].po);
                     } catch (const std::exception& e) {
+                        // In-flight shutdown cancellation: leave the slot
+                        // empty, no fault record — the round is discarded.
+                        if (error_kind_of(e) == ErrorKind::Cancelled && shutdown_requested())
+                            return;
                         ConeEvaluation degraded;
                         FaultRecord record;
                         record.kind = error_kind_of(e);
@@ -353,7 +397,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     }
                 });
             }
-            if (wall_clock_fired.load(std::memory_order_relaxed)) break;
+            // Wall-clock interruption or shutdown: the partially evaluated
+            // round is discarded — never charged, never committed — so a
+            // resumed run retraces the uninterrupted trajectory exactly.
+            if (wall_clock_fired.load(std::memory_order_relaxed) || shutdown_requested()) break;
 
             // Charge this round's deterministic cost, in task order, at a
             // serial point. The round is fully evaluated by now and will be
@@ -383,6 +430,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     fault_records.add();
                     if (record.recovered) fault_recovered.add();
                     else fault_degraded.add();
+                    if (record.kind == ErrorKind::Cancelled) {
+                        ++local.deadline_cancelled;
+                        deadline_cancels.add();
+                    }
                     local.faults.push_back(std::move(record));
                 }
             }
@@ -511,48 +562,60 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         }
     };
 
-    // Pass 1: decomposition starting from the raw circuit (deep chains are
-    // where the windows are easiest to find).
-    run_decomposition_loop(original);
+    // The passes run under a graceful-shutdown boundary: a Cancelled error
+    // raised by a poll in the *serial* stages (SAT sweeping, CEC,
+    // restructuring's solver work) unwinds to here and the run returns the
+    // best verified circuit so far. Anything else propagates unchanged.
+    try {
+        // Pass 1: decomposition starting from the raw circuit (deep chains
+        // are where the windows are easiest to find).
+        run_decomposition_loop(original);
 
-    // Pass 2: conventional restructuring alone, then decomposition on top
-    // of it — the paper's deployment ("complements existing logic
-    // optimization algorithms"). Whichever pass wins is returned.
-    if (params.baseline_preoptimize) {
-        Aig preopt = balance(original);
-        if (better(preopt, best)) best = preopt;
-        for (int r = 0; r < 10; ++r) {
-            Aig restructured;
-            {
-                const ScopedTimer restructure_scope(restructure_timer);
-                restructured = restructure_round(preopt);
+        // Pass 2: conventional restructuring alone, then decomposition on
+        // top of it — the paper's deployment ("complements existing logic
+        // optimization algorithms"). Whichever pass wins is returned.
+        if (params.baseline_preoptimize && !shutdown_requested()) {
+            Aig preopt = balance(original);
+            if (better(preopt, best)) best = preopt;
+            for (int r = 0; r < 10 && !shutdown_requested(); ++r) {
+                Aig restructured;
+                {
+                    const ScopedTimer restructure_scope(restructure_timer);
+                    restructured = restructure_round(preopt);
+                }
+                if (params.area_recovery) {
+                    const ScopedTimer sweep_scope(sweep_timer);
+                    WorkCost sweep_cost;
+                    restructured =
+                        sat_sweep(restructured, rng, /*conflict_limit=*/2000,
+                                  /*num_patterns=*/1024, /*depth_aware=*/true, &sweep_cost);
+                    work_sweep_conflicts.add(sweep_cost.sat_conflicts);
+                }
+                if (restructured.depth() >= preopt.depth()) break;
+                preopt = std::move(restructured);
             }
-            if (params.area_recovery) {
-                const ScopedTimer sweep_scope(sweep_timer);
-                WorkCost sweep_cost;
-                restructured = sat_sweep(restructured, rng, /*conflict_limit=*/2000,
-                                         /*num_patterns=*/1024, /*depth_aware=*/true, &sweep_cost);
-                work_sweep_conflicts.add(sweep_cost.sat_conflicts);
+            if (params.verify_each_iteration) {
+                const ScopedTimer cec_scope(cec_timer);
+                WorkCost cec_cost;
+                const CecResult cec =
+                    check_equivalence_memo(preopt, original, /*conflict_limit=*/1000000,
+                                           engine.use_result_cache, &cec_cost, engine.warm_start);
+                work_cec_conflicts.add(cec_cost.sat_conflicts);
+                if (!cec.resolved || !cec.equivalent) {
+                    local.verified = local.verified && cec.resolved;
+                    preopt = original;
+                }
             }
-            if (restructured.depth() >= preopt.depth()) break;
-            preopt = std::move(restructured);
+            if (better(preopt, best)) best = preopt;
+            if (preopt.depth() < original.depth() && !shutdown_requested())
+                run_decomposition_loop(preopt);
         }
-        if (params.verify_each_iteration) {
-            const ScopedTimer cec_scope(cec_timer);
-            WorkCost cec_cost;
-            const CecResult cec =
-                check_equivalence_memo(preopt, original, /*conflict_limit=*/1000000,
-                                       engine.use_result_cache, &cec_cost, engine.warm_start);
-            work_cec_conflicts.add(cec_cost.sat_conflicts);
-            if (!cec.resolved || !cec.equivalent) {
-                local.verified = local.verified && cec.resolved;
-                preopt = original;
-            }
-        }
-        if (better(preopt, best)) best = preopt;
-        if (preopt.depth() < original.depth()) run_decomposition_loop(preopt);
+    } catch (const std::exception& e) {
+        if (error_kind_of(e) != ErrorKind::Cancelled || !shutdown_requested()) throw;
     }
 
+    local.cancelled = shutdown_requested();
+    if (local.cancelled) shutdown_stops.add();
     local.final_depth = best.depth();
     local.final_ands = best.count_reachable_ands();
     local.work_units = budget.spent();
@@ -597,9 +660,27 @@ std::vector<BatchOutcome> optimize_timing_batch(
     per_item.jobs = 1;  // item-level parallelism still dominates a full batch
     per_item.shared_pool = steal ? &pool : nullptr;
     std::mutex complete_mutex;
+    const auto batch_cancelled = [&engine]() {
+        return engine.cancel != nullptr && engine.cancel->requested();
+    };
     pool.parallel_for(0, items.size(), [&](std::size_t i) {
         Stopwatch item_clock;
         outcomes[i].name = items[i].name;
+        // Graceful shutdown: once the token is requested, items that have
+        // not started are never dispatched — they are marked cancelled with
+        // their input unchanged so the CLI neither journals nor writes
+        // them, and `--resume` re-runs them from scratch.
+        if (batch_cancelled()) {
+            outcomes[i].cancelled = true;
+            outcomes[i].output = items[i].input.cleanup();
+            outcomes[i].stats.verified = false;
+            Metrics::global().counter("engine.cancel.batch_items_cancelled").add();
+            if (on_complete) {
+                const std::lock_guard<std::mutex> lock(complete_mutex);
+                on_complete(outcomes[i], i);
+            }
+            return;
+        }
         // Item-level fault boundary: one failing circuit must not abort the
         // other 99. The failed item degrades to its unmodified input — the
         // same keep-original rule the per-cone boundary applies — and is
@@ -607,13 +688,27 @@ std::vector<BatchOutcome> optimize_timing_batch(
         try {
             outcomes[i].output =
                 optimize_timing_engine(items[i].input, params, per_item, &outcomes[i].stats);
+            // An in-flight shutdown returns gracefully with stats.cancelled;
+            // the item is demoted to cancelled (not finished, not failed).
+            if (outcomes[i].stats.cancelled) {
+                outcomes[i].cancelled = true;
+                Metrics::global().counter("engine.cancel.batch_items_cancelled").add();
+            }
         } catch (const std::exception& e) {
-            outcomes[i].failed = true;
-            outcomes[i].error = e.what();
-            outcomes[i].output = items[i].input.cleanup();
-            outcomes[i].stats = OptimizeStats{};
-            outcomes[i].stats.verified = false;
-            Metrics::global().counter("engine.batch.item_failures").add();
+            if (error_kind_of(e) == ErrorKind::Cancelled && batch_cancelled()) {
+                outcomes[i].cancelled = true;
+                outcomes[i].output = items[i].input.cleanup();
+                outcomes[i].stats = OptimizeStats{};
+                outcomes[i].stats.verified = false;
+                Metrics::global().counter("engine.cancel.batch_items_cancelled").add();
+            } else {
+                outcomes[i].failed = true;
+                outcomes[i].error = e.what();
+                outcomes[i].output = items[i].input.cleanup();
+                outcomes[i].stats = OptimizeStats{};
+                outcomes[i].stats.verified = false;
+                Metrics::global().counter("engine.batch.item_failures").add();
+            }
         }
         outcomes[i].seconds = item_clock.elapsed_seconds();
         if (on_complete) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
+#include "common/cancel.hpp"
 #include "engine/cache.hpp"
 #include "lookahead/optimize.hpp"
 #include "lookahead/params.hpp"
@@ -70,6 +71,16 @@ struct EngineOptions {
     /// — as an escape hatch (`lls_opt --steal off`). Outputs are
     /// byte-identical either way.
     bool steal = true;
+
+    /// Process/batch-level cooperative cancellation (common/cancel.hpp),
+    /// or nullptr for none. When the token is requested — the CLI's
+    /// SIGTERM/SIGINT handler does this — the engine stops dispatching new
+    /// cones and rounds, cancels in-flight evaluations at their next poll,
+    /// and returns with `OptimizeStats::cancelled` set; batch mode stops
+    /// starting items and marks interrupted ones `BatchOutcome::cancelled`
+    /// so they are never journaled or written. Not owned; must outlive the
+    /// run.
+    const CancelToken* cancel = nullptr;
 };
 
 /// The paper's timing-driven flow, executed by the concurrent engine: each
@@ -98,6 +109,12 @@ struct BatchOutcome {
     /// `error` carries the diagnostic.
     bool failed = false;
     std::string error;
+    /// A batch-level cancellation (SIGTERM/SIGINT token) interrupted this
+    /// item. `output` is the unmodified input when the item never started,
+    /// or the engine's best verified circuit so far when it was in flight;
+    /// either way it must NOT be journaled or written — `--resume` re-runs
+    /// the item from scratch, which reproduces the uninterrupted bytes.
+    bool cancelled = false;
 };
 
 /// Optimizes every item of a batch, running up to `engine.jobs` circuits

@@ -32,6 +32,12 @@ struct ConeEvaluation {
     /// same faults and charges the same cost (injection is a pure function
     /// of (cone, params)), so the store only ever carries clean records.
     std::vector<FaultRecord> faults;
+    /// The evaluation was cut short by a wall-clock cancellation (fired
+    /// cone deadline, or an injected `cancel@site` fault exercising that
+    /// path). Such evaluations are a function of elapsed time, not just of
+    /// (cone, params): the engine never memoizes or persists them, so one
+    /// slow run cannot poison the byte-identity of later runs.
+    bool timing_dependent = false;
 };
 
 /// Decomposition memo: (cone structural hash, params fingerprint) -> the

@@ -9,6 +9,7 @@
 #include "bdd/aig_bdd.hpp"
 #include "cec/cec.hpp"
 #include "common/bitops.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "engine/metrics.hpp"
 #include "lookahead/reduce.hpp"
@@ -46,6 +47,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                                                       WorkCost& cost,
                                                       const DecomposeHooks& hooks) {
     LLS_REQUIRE(cone.num_pos() == 1);
+    poll_cancellation("decompose");
     if (hooks.faults) hooks.faults->check("decompose", "decompose");
     const int old_depth = cone.depth();
     if (old_depth < 2) return std::nullopt;
@@ -155,6 +157,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
 
         const auto y1_levels = net.compute_sop_levels();
         for (const auto node : net.cone_of(y1_root)) {
+            poll_cancellation("simplify");
             if (y1_levels[node] == 0) continue;  // already a literal/constant
             const TruthTable& f = net.function(node);
             const int k = f.num_vars();

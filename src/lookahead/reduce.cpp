@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cancel.hpp"
 #include "lookahead/simplify.hpp"
 
 namespace lls {
@@ -40,6 +41,7 @@ ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature
 
         // Walk a critical chain downward from c (Fig. 2's inner loop).
         while (c != 0 && levels[root] >= l_t) {
+            poll_cancellation("reduce");
             visited[c] = 1;
             if (!marked[c]) {
                 if (auto outcome =

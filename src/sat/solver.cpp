@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 
 namespace lls::sat {
@@ -308,6 +309,10 @@ Status Solver::solve(const std::vector<Lit>& assumptions, std::int64_t conflict_
     std::int64_t restart_budget = 100 * luby(restart_num);
 
     while (true) {
+        // The solve loop is unbounded when no conflict limit is set; this
+        // poll is what guarantees a runaway query still honors shutdown
+        // tokens and cone deadlines.
+        poll_cancellation("sat");
         const int confl = propagate();
         if (confl != -1) {
             ++conflicts_;

@@ -367,6 +367,15 @@ TEST(FaultPlan, GrammarRoundtrip) {
     EXPECT_EQ(engine_spec.find("fatal"), std::string::npos);
     EXPECT_EQ(FaultPlan::parse("fatal@batch:1").fingerprint(), FaultPlan().fingerprint());
 
+    // "cancel" serializes as error_kind_name(Cancelled) = "cancelled"; the
+    // canonical form must re-parse (the CLI round-trips every plan through
+    // engine_spec()) and both spellings must fingerprint identically.
+    const FaultPlan cancel_plan = FaultPlan::parse("cancel@decompose:1");
+    EXPECT_EQ(FaultPlan::parse(cancel_plan.engine_spec()).engine_spec(),
+              cancel_plan.engine_spec());
+    EXPECT_EQ(FaultPlan::parse("cancelled@decompose:1").fingerprint(),
+              cancel_plan.fingerprint());
+
     for (const char* bad : {"bogus@decompose", "resource", "resource@sat:x", "@sat"}) {
         try {
             FaultPlan::parse(bad);
@@ -625,6 +634,198 @@ TEST(Engine, MetricsRecordRuns) {
     const std::string json = metrics.to_json();
     EXPECT_NE(json.find("\"engine.runs\""), std::string::npos);
     EXPECT_NE(json.find("\"caches\""), std::string::npos);
+}
+
+// ---- cooperative cancellation ------------------------------------------
+
+TEST(Engine, InjectedCancelDegradesConeWithFaultRecord) {
+    // `cancel@decompose` exercises the cone-deadline path deterministically:
+    // the cancelled cone must be kept original (recovered=false) with a
+    // Cancelled fault record, the retry ladder must NOT escalate (retrying
+    // a timed-out evaluation is how a runaway cone eats the whole budget),
+    // and the run must stay equivalent.
+    const Aig rca = ripple_carry_adder(6);
+    clear_engine_caches();
+    Aig out;
+    const OptimizeStats stats = run_faulted(rca, "cancel@decompose:1", 2, &out);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent);
+    ASSERT_FALSE(stats.faults.empty());
+    for (const FaultRecord& fault : stats.faults) {
+        EXPECT_EQ(fault.kind, ErrorKind::Cancelled);
+        EXPECT_FALSE(fault.recovered);
+        EXPECT_TRUE(fault.retries.empty());  // ladder stops on cancellation
+    }
+    EXPECT_EQ(stats.deadline_cancelled, static_cast<int>(stats.faults.size()));
+    EXPECT_FALSE(stats.cancelled);  // a cone cancellation is not a shutdown
+    EXPECT_EQ(stats.outputs_decomposed, 0);
+}
+
+TEST(Engine, InjectedCancelIsJobsInvariant) {
+    // Cancelled evaluations are never memoized (timing_dependent), so every
+    // run recomputes them — and injection being a pure function of
+    // (cone, params), the recompute replays identically across schedules.
+    const Aig rca = ripple_carry_adder(7);
+    auto fingerprint = [&](int jobs) {
+        clear_engine_caches();
+        Aig out;
+        const OptimizeStats stats = run_faulted(rca, "cancel@decompose:1", jobs, &out);
+        std::stringstream aag;
+        write_aiger(aag, out);
+        std::string fp = aag.str();
+        for (const FaultRecord& fault : stats.faults)
+            fp += "|" + std::string(error_kind_name(fault.kind)) + "@" + fault.stage + "#" +
+                  std::to_string(fault.cone);
+        return fp;
+    };
+    const std::string serial = fingerprint(1);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, fingerprint(2));
+    EXPECT_EQ(serial, fingerprint(4));
+}
+
+TEST(Engine, InjectedCancelIsCacheStateInvariant) {
+    // Unlike plain faults (memoized and replayed from cache), cancelled
+    // evaluations are recomputed on every run. Cold and warm runs must
+    // still agree bit-for-bit, fault journal included.
+    const Aig rca = ripple_carry_adder(6);
+    clear_engine_caches();
+    Aig cold_out, warm_out;
+    const OptimizeStats cold = run_faulted(rca, "cancel@decompose:1", 2, &cold_out);
+    const OptimizeStats warm = run_faulted(rca, "cancel@decompose:1", 2, &warm_out);
+    EXPECT_EQ(cold_out.hash(), warm_out.hash());
+    ASSERT_EQ(cold.faults.size(), warm.faults.size());
+    EXPECT_EQ(cold.deadline_cancelled, warm.deadline_cancelled);
+}
+
+TEST(Engine, TinyConeDeadlineDegradesAndCounts) {
+    // A deadline far below any real evaluation time cancels (essentially)
+    // every cone: the run must complete, verify, count the cancellations in
+    // stats and the engine.cancel.* metrics, and keep cancelled cones
+    // original. This is the wall-clock path, so only the *containment* is
+    // asserted, never which cones fired.
+    const Aig rca = ripple_carry_adder(8);
+    clear_engine_caches();
+    LookaheadParams params;
+    params.max_iterations = 4;
+    params.cone_deadline_seconds = 1e-9;
+    EngineOptions engine;
+    engine.jobs = 2;
+    const std::uint64_t cancels_before =
+        Metrics::global().counter("engine.cancel.deadline_cancelled").value();
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(rca, params, engine, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent);
+    EXPECT_GT(stats.deadline_cancelled, 0);
+    ASSERT_FALSE(stats.faults.empty());
+    for (const FaultRecord& fault : stats.faults) {
+        EXPECT_EQ(fault.kind, ErrorKind::Cancelled);
+        EXPECT_FALSE(fault.recovered);
+    }
+    EXPECT_GT(Metrics::global().counter("engine.cancel.deadline_cancelled").value(),
+              cancels_before);
+    clear_engine_caches();  // drop any entries computed alongside the cancellations
+}
+
+TEST(Engine, PreRequestedTokenReturnsInputWithCancelledFlag) {
+    // A token requested before the run starts: the engine must dispatch
+    // nothing and hand back the (cleaned) input with stats.cancelled set —
+    // the single-circuit analogue of a batch item that never started.
+    const Aig rca = ripple_carry_adder(6);
+    CancelToken token;
+    token.request();
+    LookaheadParams params;
+    params.max_iterations = 4;
+    EngineOptions engine;
+    engine.jobs = 2;
+    engine.cancel = &token;
+    const std::uint64_t stops_before =
+        Metrics::global().counter("engine.cancel.shutdowns").value();
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(rca, params, engine, &stats);
+    EXPECT_TRUE(stats.cancelled);
+    EXPECT_EQ(stats.outputs_decomposed, 0);
+    EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent);
+    EXPECT_GT(Metrics::global().counter("engine.cancel.shutdowns").value(), stops_before);
+}
+
+TEST(Engine, BatchShutdownMarksItemsCancelledNotFailed) {
+    // With the token already requested, every batch item must come back
+    // cancelled (never failed), on_complete must still see each exactly
+    // once, and outputs must be safe placeholders (the unmodified input).
+    std::vector<BatchItem> items;
+    items.push_back({"a", ripple_carry_adder(5)});
+    items.push_back({"b", ripple_carry_adder(6)});
+    items.push_back({"c", ripple_carry_adder(7)});
+    CancelToken token;
+    token.request();
+    EngineOptions engine;
+    engine.jobs = 2;
+    engine.cancel = &token;
+    LookaheadParams params;
+    params.max_iterations = 4;
+    std::atomic<int> completions{0};
+    const auto outcomes = optimize_timing_batch(
+        items, params, engine, [&](const BatchOutcome& r, std::size_t) {
+            ++completions;
+            EXPECT_TRUE(r.cancelled);
+        });
+    ASSERT_EQ(outcomes.size(), items.size());
+    EXPECT_EQ(completions.load(), static_cast<int>(items.size()));
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].cancelled) << outcomes[i].name;
+        EXPECT_FALSE(outcomes[i].failed) << outcomes[i].name;
+        EXPECT_TRUE(check_equivalence(items[i].input, outcomes[i].output, 2000000).equivalent)
+            << outcomes[i].name;
+    }
+}
+
+TEST(Engine, MidBatchShutdownKeepsFinishedItemsByteIdentical) {
+    // Request shutdown from on_complete after the first finished item: the
+    // finished prefix must match an uninterrupted run byte-for-byte (what
+    // --resume relies on), and the interrupted/never-started remainder must
+    // be cancelled, not failed.
+    const auto items = skewed_batch();
+    LookaheadParams params;
+    params.max_iterations = 6;
+
+    auto aiger_of = [](const BatchOutcome& r) {
+        std::stringstream aag;
+        write_aiger(aag, r.output);
+        return aag.str();
+    };
+
+    clear_engine_caches();
+    EngineOptions full_engine;
+    full_engine.jobs = 2;
+    const auto full = optimize_timing_batch(items, params, full_engine);
+
+    clear_engine_caches();
+    CancelToken token;
+    EngineOptions engine;
+    engine.jobs = 2;
+    engine.cancel = &token;
+    std::atomic<int> finished{0};
+    const auto interrupted = optimize_timing_batch(
+        items, params, engine, [&](const BatchOutcome& r, std::size_t) {
+            if (!r.cancelled && ++finished == 1) token.request();
+        });
+    ASSERT_EQ(interrupted.size(), items.size());
+    std::size_t completed = 0, cancelled = 0;
+    for (std::size_t i = 0; i < interrupted.size(); ++i) {
+        if (interrupted[i].cancelled) {
+            ++cancelled;
+            EXPECT_FALSE(interrupted[i].failed);
+            continue;
+        }
+        ++completed;
+        EXPECT_FALSE(interrupted[i].failed);
+        // Finished-before-shutdown items are exactly the uninterrupted bytes.
+        EXPECT_EQ(aiger_of(interrupted[i]), aiger_of(full[i])) << interrupted[i].name;
+    }
+    EXPECT_GE(completed, 1u);
+    EXPECT_EQ(completed + cancelled, items.size());
 }
 
 }  // namespace

@@ -83,5 +83,43 @@ TEST(ParseJobs, RejectsGarbageAndOutOfRange) {
     EXPECT_EQ(out, 7);
 }
 
+TEST(ParseDuration, AcceptsEveryUnit) {
+    double out = -1.0;
+    EXPECT_TRUE(parse_duration_option("--d", "500ms", &out));
+    EXPECT_DOUBLE_EQ(out, 0.5);
+    EXPECT_TRUE(parse_duration_option("--d", "30s", &out));
+    EXPECT_DOUBLE_EQ(out, 30.0);
+    EXPECT_TRUE(parse_duration_option("--d", "5m", &out));
+    EXPECT_DOUBLE_EQ(out, 300.0);
+    EXPECT_TRUE(parse_duration_option("--d", "1.5s", &out));
+    EXPECT_DOUBLE_EQ(out, 1.5);
+    EXPECT_TRUE(parse_duration_option("--d", "0.25m", &out));
+    EXPECT_DOUBLE_EQ(out, 15.0);
+}
+
+TEST(ParseDuration, RejectsGarbageWithoutTouchingOutput) {
+    // A bare number is ambiguous (seconds? ms?) — the unit is mandatory, so
+    // "30" is an error, not a silent guess.
+    double out = 99.0;
+    EXPECT_FALSE(parse_duration_option("--d", "30", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "ms", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "5h", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "5 s", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "-5s", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "1.2.3s", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "s5s", &out));
+    EXPECT_DOUBLE_EQ(out, 99.0);
+}
+
+TEST(ParseDuration, RejectsZeroAndNonPositive) {
+    // Durations arm watchdogs; zero means "off" and is expressed by not
+    // passing the flag, never by "0s".
+    double out = 99.0;
+    EXPECT_FALSE(parse_duration_option("--d", "0s", &out));
+    EXPECT_FALSE(parse_duration_option("--d", "0.0ms", &out));
+    EXPECT_DOUBLE_EQ(out, 99.0);
+}
+
 }  // namespace
 }  // namespace lls

@@ -26,10 +26,11 @@
 //   --resume                      resume an interrupted --checkpoint batch
 //   --fault-inject SPEC           deterministic fault injection, SPEC =
 //                                 kind@site[:count][,...]; kinds parse|resource|
-//                                 solver|verify|invariant|io fire synthetic
-//                                 LlsErrors at engine sites (decompose|spcf|
-//                                 sat|cec); fatal@batch:N kills the process
-//                                 after N journaled circuits (crash simulation)
+//                                 solver|verify|invariant|io|cancel fire
+//                                 synthetic LlsErrors at engine sites
+//                                 (decompose|spcf|sat|cec); fatal@batch:N kills
+//                                 the process after N journaled circuits
+//                                 (crash simulation)
 //   --no-verify                   skip the final equivalence check
 //   --map                         print a technology-mapping report
 //   --aiger PATH                  also dump the result as ASCII AIGER
@@ -45,9 +46,22 @@
 //                                 cold start, never a failure
 //   --cache-mode read|write|rw|off
 //                                 what --cache-dir may do (default rw)
+//   --cone-deadline DUR           per-cone wall-clock watchdog (500ms/30s/5m;
+//                                 default off): a cone evaluation that outlives
+//                                 it is cancelled and kept original with a
+//                                 FaultRecord — nondeterministic, like the
+//                                 wall-clock rail
+//   --time-budget DUR             wall-clock safety rail for the whole run
+//                                 (nondeterministic; use --work-budget for
+//                                 reproducible budgeted runs)
 //
-// Exit code is nonzero on parse errors or a failed equivalence check.
+// Exit codes are documented in --help: 0 success; 1 not equivalent / item
+// failed; 2 usage; 10..16 per ErrorKind; 30 terminated by SIGTERM/SIGINT
+// with the checkpoint journal and persist-store shards flushed (--resume
+// continues byte-identically); 42 simulated crash (fatal@batch:N). A second
+// signal hard-exits with the conventional 128+signo.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,10 +70,13 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include <sstream>
 
 #include "baseline/flows.hpp"
 #include "cec/cec.hpp"
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/parse.hpp"
@@ -78,10 +95,35 @@
 
 namespace {
 
-int usage(const char* argv0) {
-    std::fprintf(stderr,
+// Graceful signal-driven shutdown: the first SIGTERM/SIGINT requests
+// cooperative cancellation (the engine stops dispatching, in-flight cones
+// cancel at their next poll, the checkpoint journal and persist-store
+// shards are flushed, and the process exits with kExitSignalShutdown so
+// scripts know --resume will continue byte-identically). A second signal
+// hard-exits with the conventional 128+signo. Everything the handler does
+// is async-signal-safe: one atomic exchange, one relaxed store, _exit.
+lls::CancelToken g_shutdown;
+std::atomic<int> g_signal{0};
+
+extern "C" void handle_shutdown_signal(int sig) {
+    if (g_signal.exchange(sig) != 0) _exit(128 + sig);
+    g_shutdown.request();
+}
+
+void install_signal_handlers() {
+    struct sigaction action = {};
+    action.sa_handler = handle_shutdown_signal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGTERM, &action, nullptr);
+    sigaction(SIGINT, &action, nullptr);
+}
+
+void print_usage(std::FILE* out, const char* argv0) {
+    std::fprintf(out,
                  "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N|auto]\n"
                  "          [--steal on|off] [--shared-bdd on|off] [--work-budget N]\n"
+                 "          [--cone-deadline DUR] [--time-budget DUR]\n"
                  "          [--fault-inject SPEC]\n"
                  "          [--cache-dir DIR] [--cache-mode read|write|rw|off]\n"
                  "          [--no-verify] [--map]\n"
@@ -89,9 +131,43 @@ int usage(const char* argv0) {
                  "          [--metrics-json FILE]\n"
                  "          <input.blif> [output.blif]\n"
                  "       %s --batch [options] [--out-dir DIR] [--checkpoint FILE] [--resume]\n"
-                 "          <input.blif> [input2.blif ...]\n",
-                 argv0, argv0);
-    return 2;
+                 "          <input.blif> [input2.blif ...]\n"
+                 "       %s --help\n",
+                 argv0, argv0, argv0);
+}
+
+int usage(const char* argv0) {
+    print_usage(stderr, argv0);
+    return lls::kExitUsage;
+}
+
+int help(const char* argv0) {
+    print_usage(stdout, argv0);
+    std::printf(
+        "\nDurations (DUR) are a number with a unit: 500ms, 30s, 5m.\n"
+        "\nexit codes:\n"
+        "   0  success\n"
+        "  %2d  result not equivalent / unresolved, or a batch item failed\n"
+        "  %2d  usage error (bad flags or arguments)\n"
+        "  %2d  parse error (malformed BLIF/AIGER/spec input)\n"
+        "  %2d  resource exhausted (BDD node limit, SAT literal limit, memory)\n"
+        "  %2d  solver limit (a solver gave up within its effort bound)\n"
+        "  %2d  verification failed or could not be resolved\n"
+        "  %2d  internal invariant violation\n"
+        "  %2d  I/O error (filesystem open/read/write)\n"
+        "  %2d  cancelled (cooperative cancellation surfaced as an error)\n"
+        "  %2d  terminated by SIGTERM/SIGINT: checkpoint journal and persist\n"
+        "      store flushed; rerun with --resume to continue byte-identically\n"
+        "  %2d  simulated fatal crash (--fault-inject fatal@batch:N)\n"
+        " 128+signo  hard exit on a second SIGTERM/SIGINT\n",
+        lls::kExitNotEquivalent, lls::kExitUsage, lls::exit_code_for(lls::ErrorKind::ParseError),
+        lls::exit_code_for(lls::ErrorKind::ResourceExhausted),
+        lls::exit_code_for(lls::ErrorKind::SolverLimit),
+        lls::exit_code_for(lls::ErrorKind::VerificationFailed),
+        lls::exit_code_for(lls::ErrorKind::InvariantViolation),
+        lls::exit_code_for(lls::ErrorKind::IoError), lls::exit_code_for(lls::ErrorKind::Cancelled),
+        lls::kExitSignalShutdown, lls::kExitSimulatedCrash);
+    return 0;
 }
 
 std::string basename_of(const std::string& path) {
@@ -126,12 +202,15 @@ int main(int argc, char** argv) {
     int iterations = 10;
     int jobs = 1;
     std::uint64_t work_budget = 0;
+    double cone_deadline = 0.0, time_budget = 0.0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
     bool batch = false, resume = false, shared_bdd = true, steal = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--flow" && i + 1 < argc) {
+        if (arg == "--help" || arg == "-h") {
+            return help(argv[0]);
+        } else if (arg == "--flow" && i + 1 < argc) {
             flow = argv[++i];
         } else if (arg == "--iterations" && i + 1 < argc) {
             if (!lls::parse_int_option("--iterations", argv[++i], 0, 1000000, &iterations))
@@ -161,6 +240,12 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--work-budget" && i + 1 < argc) {
             if (!lls::parse_u64_option("--work-budget", argv[++i], UINT64_MAX, &work_budget))
+                return usage(argv[0]);
+        } else if (arg == "--cone-deadline" && i + 1 < argc) {
+            if (!lls::parse_duration_option("--cone-deadline", argv[++i], &cone_deadline))
+                return usage(argv[0]);
+        } else if (arg == "--time-budget" && i + 1 < argc) {
+            if (!lls::parse_duration_option("--time-budget", argv[++i], &time_budget))
                 return usage(argv[0]);
         } else if (arg == "--batch") {
             batch = true;
@@ -211,10 +296,17 @@ int main(int argc, char** argv) {
     lls::LookaheadParams params;
     params.max_iterations = iterations;
     params.work_budget = work_budget;
+    params.cone_deadline_seconds = cone_deadline;
+    params.time_budget_seconds = time_budget;
     lls::EngineOptions engine;
     engine.jobs = jobs;
     engine.shared_bdd = shared_bdd;
     engine.steal = steal;
+
+    // From here on a SIGTERM/SIGINT requests graceful shutdown through the
+    // engine's cancellation token instead of killing the process mid-write.
+    install_signal_handlers();
+    engine.cancel = &g_shutdown;
 
     // Fault injection: engine-site specs are forwarded through the params
     // (they are part of what the evaluations compute); `fatal@batch:N` is a
@@ -229,12 +321,12 @@ int main(int argc, char** argv) {
             fatal_after = plan.fatal_count_for("batch");
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error: bad --fault-inject spec: %s\n", e.what());
-            return 2;
+            return lls::kExitUsage;
         }
     }
     if (resume && checkpoint_path.empty()) {
         std::fprintf(stderr, "error: --resume requires --checkpoint FILE\n");
-        return 2;
+        return lls::kExitUsage;
     }
 
     // Persistent memo store: open + load before any optimization so every
@@ -292,7 +384,7 @@ int main(int argc, char** argv) {
     if (batch) {
         if (flow != "lookahead") {
             std::fprintf(stderr, "error: --batch supports only --flow lookahead\n");
-            return 2;
+            return lls::kExitUsage;
         }
         if (!out_dir.empty()) {
             std::error_code ec;
@@ -300,7 +392,7 @@ int main(int argc, char** argv) {
             if (ec) {
                 std::fprintf(stderr, "error: cannot create --out-dir %s: %s\n", out_dir.c_str(),
                              ec.message().c_str());
-                return 1;
+                return lls::exit_code_for(lls::ErrorKind::IoError);
             }
         }
         std::vector<lls::BatchItem> items;
@@ -309,7 +401,7 @@ int main(int argc, char** argv) {
                 items.push_back({path, lls::read_blif_file(path)});
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "error reading %s: %s\n", path.c_str(), e.what());
-                return 1;
+                return lls::exit_code_for(lls::error_kind_of(e));
             }
         }
 
@@ -329,7 +421,7 @@ int main(int argc, char** argv) {
             } catch (const std::exception& e) {
                 std::fprintf(stderr, "error: checkpoint %s: %s\n", checkpoint_path.c_str(),
                              e.what());
-                return 1;
+                return lls::exit_code_for(lls::error_kind_of(e));
             }
             if (resume) {
                 std::vector<lls::BatchItem> pending;
@@ -353,6 +445,15 @@ int main(int argc, char** argv) {
         // `fatal@batch:N` — the journal line is durable before the process
         // dies, exactly like a real mid-batch crash after a flush.
         auto on_complete = [&](const lls::BatchOutcome& r, std::size_t i) {
+            if (r.cancelled) {
+                // Shutdown interrupted this item: nothing is verified,
+                // written, or journaled — --resume re-runs it from scratch
+                // and reproduces the uninterrupted bytes.
+                std::printf("%s: cancelled by shutdown request (not journaled; re-run with "
+                            "--resume)\n",
+                            r.name.c_str());
+                return;
+            }
             std::printf("%s: depth %d -> %d, %zu -> %zu AND nodes (%.2fs)\n", r.name.c_str(),
                         r.stats.initial_depth, r.stats.final_depth, r.stats.initial_ands,
                         r.stats.final_ands, r.seconds);
@@ -406,7 +507,7 @@ int main(int argc, char** argv) {
                                          "circuit(s)\n",
                                  journaled);
                     std::fflush(nullptr);
-                    std::_Exit(42);
+                    std::_Exit(lls::kExitSimulatedCrash);
                 }
             }
         };
@@ -415,6 +516,21 @@ int main(int argc, char** argv) {
         std::printf("batch: %zu circuits (%zu skipped via checkpoint), %d jobs, %.2fs wall "
                     "clock\n",
                     outcomes.size() + skipped, skipped, jobs, sw.elapsed_seconds());
+        // Graceful signal shutdown: the journal holds every finished item
+        // (appended flush-and-throw as it completed), and epilogue() flushes
+        // the persist-store shards. The distinct exit code tells scripts
+        // this run is resumable, not failed.
+        if (g_signal.load() != 0) {
+            const bool flushed = epilogue();
+            std::size_t cancelled = 0;
+            for (const auto& r : outcomes) cancelled += r.cancelled ? 1 : 0;
+            std::fprintf(stderr,
+                         "terminated by signal %d: %zu circuit(s) journaled, %zu cancelled; "
+                         "checkpoint %s; rerun with --resume to continue\n",
+                         g_signal.load(), journaled, cancelled,
+                         flushed ? "flushed" : "flushed (metrics dump failed)");
+            return lls::kExitSignalShutdown;
+        }
         if (!epilogue()) exit_code = 1;
         return exit_code;
     }
@@ -426,7 +542,7 @@ int main(int argc, char** argv) {
         circuit = lls::read_blif_file(input_path);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error reading %s: %s\n", input_path.c_str(), e.what());
-        return 1;
+        return lls::exit_code_for(lls::error_kind_of(e));
     }
     std::printf("%s: %zu PIs, %zu POs, %zu AND nodes, depth %d\n", input_path.c_str(),
                 circuit.num_pis(), circuit.num_pos(), circuit.count_reachable_ands(),
@@ -450,7 +566,7 @@ int main(int argc, char** argv) {
             // reaching here is an entry error (e.g. a malformed fault plan)
             // or an unrecoverable failure — report, never abort().
             std::fprintf(stderr, "error: optimization failed: %s\n", e.what());
-            return 1;
+            return lls::exit_code_for(lls::error_kind_of(e));
         }
     } else {
         return usage(argv[0]);
@@ -467,20 +583,36 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "warning: wall-clock budget fired; this result is timing-dependent "
                      "(use --work-budget for deterministic budgeted runs)\n");
+    if (stats.deadline_cancelled > 0)
+        std::fprintf(stderr,
+                     "warning: %d cone(s) hit --cone-deadline and kept their original "
+                     "logic; this result is timing-dependent\n",
+                     stats.deadline_cancelled);
     print_fault_summary(input_path.c_str(), stats);
     if (print_stats)
         for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());
+    // Graceful signal shutdown: the engine returned its best verified
+    // circuit so far, but the optimization is incomplete — flush the
+    // persist store and exit with the resumable-shutdown code instead of
+    // writing partial outputs.
+    if (stats.cancelled || g_signal.load() != 0) {
+        epilogue();
+        std::fprintf(stderr, "terminated by signal %d: optimization incomplete, outputs not "
+                             "written\n",
+                     g_signal.load());
+        return lls::kExitSignalShutdown;
+    }
     if (!epilogue()) return 1;
 
     if (verify) {
         const lls::CecResult cec = lls::check_equivalence(circuit, optimized, 4000000);
         if (!cec.resolved) {
             std::fprintf(stderr, "equivalence check UNRESOLVED (conflict limit)\n");
-            return 1;
+            return lls::kExitNotEquivalent;
         }
         if (!cec.equivalent) {
             std::fprintf(stderr, "equivalence check FAILED\n");
-            return 1;
+            return lls::kExitNotEquivalent;
         }
         std::printf("equivalence check: PASS\n");
     }
@@ -499,7 +631,7 @@ int main(int argc, char** argv) {
             lls::write_blif_file(output_path, optimized, "lls_opt");
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error writing %s: %s\n", output_path.c_str(), e.what());
-            return 1;
+            return lls::exit_code_for(lls::error_kind_of(e));
         }
         std::printf("wrote %s\n", output_path.c_str());
     }
@@ -508,7 +640,7 @@ int main(int argc, char** argv) {
             lls::write_aiger_file(aiger_path, optimized);
         } catch (const std::exception& e) {
             std::fprintf(stderr, "error writing %s: %s\n", aiger_path.c_str(), e.what());
-            return 1;
+            return lls::exit_code_for(lls::error_kind_of(e));
         }
         std::printf("wrote %s\n", aiger_path.c_str());
     }

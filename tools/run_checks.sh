@@ -8,9 +8,12 @@
 # and checkpoint/resume checks of the containment subsystem (including a
 # steal-enabled crash/resume cycle), persistent-memo-store checks (warm
 # runs byte-identical to cold across --jobs, corrupted stores degrade to
-# cold start), then the concurrency-sensitive engine/bdd/parse/io/persist
-# tests — including the nested-parallel_for deadlock regressions in
-# test_thread_pool — under ThreadSanitizer.
+# cold start), a graceful-shutdown check (SIGTERM mid-batch must exit with
+# the documented resumable code, leave a valid journal, and --resume must
+# reproduce the uninterrupted bytes), then the concurrency-sensitive
+# engine/cancel/bdd/parse/io/persist tests — including the
+# nested-parallel_for deadlock regressions in test_thread_pool and the
+# cancellation watchdog paths — under ThreadSanitizer.
 #
 #   tools/run_checks.sh [--skip-tsan]
 #
@@ -185,17 +188,59 @@ grep -q "persist: cold start" "$WORKDIR/persist.corrupt.log" || {
 cmp "$WORKDIR/persist.cold.aag" "$WORKDIR/persist.corrupt.aag"
 echo "corrupted store contained: cold start, byte-identical output"
 
+echo "== stage 4d: SIGTERM mid-batch is resumable and byte-identical =="
+# A larger batch (distinct copies so names stay unique in the journal and
+# out-dir), killed with SIGTERM mid-flight: the process must exit with the
+# documented resumable-shutdown code (30), keep a valid journal of every
+# finished item, and --resume must complete the batch with outputs
+# byte-identical to an uninterrupted run. Also exercises the deadline
+# watchdog end-to-end first (--cone-deadline on a real run must exit 0).
+./build/tools/lls_opt --cone-deadline 30s --jobs 2 --iterations 6 \
+    tests/data/rca16.blif "$WORKDIR/deadline.blif" > /dev/null
+echo "--cone-deadline run completed cleanly"
+# Watchdog fuzzing: random circuits under microsecond-scale random cone
+# deadlines must stay equivalent and well-formed (degrade-to-original).
+(cd "$WORKDIR" && "$REPO/build/tools/lls_fuzz" --deadline 3 4242)
+SIG_INPUTS=()
+for i in 1 2 3; do
+    cp tests/data/rca16.blif "$WORKDIR/sig_rca$i.blif"
+    cp tests/data/control24.blif "$WORKDIR/sig_ctl$i.blif"
+    SIG_INPUTS+=("$WORKDIR/sig_rca$i.blif" "$WORKDIR/sig_ctl$i.blif")
+done
+./build/tools/lls_opt --batch --jobs 2 --iterations 6 \
+    --out-dir "$WORKDIR/sig-full" "${SIG_INPUTS[@]}" > /dev/null
+rc=0
+./build/tools/lls_opt --batch --jobs 2 --iterations 6 \
+    --out-dir "$WORKDIR/sig-resumed" --checkpoint "$WORKDIR/sig-ckpt.txt" \
+    "${SIG_INPUTS[@]}" > "$WORKDIR/sig.log" 2>&1 &
+SIG_PID=$!
+sleep 0.3
+kill -TERM "$SIG_PID" 2>/dev/null || true
+wait "$SIG_PID" || rc=$?
+[[ "$rc" == 30 ]] || { echo "expected signal-shutdown exit 30, got $rc"; cat "$WORKDIR/sig.log"; exit 1; }
+grep -q "terminated by signal 15" "$WORKDIR/sig.log" || {
+    echo "missing shutdown diagnostic"; cat "$WORKDIR/sig.log"; exit 1; }
+[[ -f "$WORKDIR/sig-ckpt.txt" ]] || { echo "journal missing after shutdown"; exit 1; }
+./build/tools/lls_opt --batch --jobs 2 --iterations 6 \
+    --out-dir "$WORKDIR/sig-resumed" --checkpoint "$WORKDIR/sig-ckpt.txt" \
+    --resume "${SIG_INPUTS[@]}" > /dev/null
+for i in 1 2 3; do
+    cmp "$WORKDIR/sig-full/sig_rca$i.blif" "$WORKDIR/sig-resumed/sig_rca$i.blif"
+    cmp "$WORKDIR/sig-full/sig_ctl$i.blif" "$WORKDIR/sig-resumed/sig_ctl$i.blif"
+done
+echo "SIGTERM shutdown: exit 30, journal intact, resumed outputs byte-identical"
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
     echo "== stage 5: skipped (--skip-tsan) =="
     exit 0
 fi
 
-echo "== stage 5: engine + shared-BDD + persist tests under ThreadSanitizer =="
+echo "== stage 5: engine + cancel + shared-BDD + persist tests under ThreadSanitizer =="
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
-    --target test_thread_pool test_engine test_parse test_io test_bdd_concurrent \
-             test_cache test_persist
-(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_io|test_bdd_concurrent|test_cache|test_persist' \
+    --target test_thread_pool test_engine test_parse test_cancel test_io \
+             test_bdd_concurrent test_cache test_persist
+(cd build-tsan && ctest -R 'test_thread_pool|test_engine|test_parse|test_cancel|test_io|test_bdd_concurrent|test_cache|test_persist' \
     --output-on-failure)
 
 echo "== all checks passed =="
