@@ -19,11 +19,17 @@
 // per-round cone fan-out. The sweep asserts the outputs' full structural
 // hashes are identical between modes — stealing is an execution knob.
 //
+// A fourth sweep measures the intra-cone SAT fan-out (the third scheduling
+// level) on a single dominant-cone input — one deep single-PO circuit, so
+// item- and cone-level parallelism have nothing to fan out and only the
+// per-cube don't-care proofs can occupy the pool. Asserts byte-level
+// structural-hash identity between --intra-cone on and off.
+//
 //   bench_parallel [bits] [max_jobs] [iterations]
 //
 // Results go to stdout and to BENCH_parallel.json (machine-readable, one
-// object per jobs value, plus "budgeted", "bdd", and "steal" sections) so
-// the perf trajectory is tracked across PRs.
+// object per jobs value, plus "budgeted", "bdd", "steal", and "intracone"
+// sections) so the perf trajectory is tracked across PRs.
 
 #include <algorithm>
 #include <atomic>
@@ -39,6 +45,7 @@
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/engine.hpp"
+#include "engine/metrics.hpp"
 #include "io/generators.hpp"
 
 using namespace lls;
@@ -243,6 +250,76 @@ StealResult steal_sweep(const std::vector<BatchItem>& items, const LookaheadPara
     return result;
 }
 
+/// Single dominant-cone input for the intra-cone sweep: one deep
+/// single-PO circuit, so every round evaluates exactly one cone and only
+/// the per-cube SAT don't-care proofs inside it can use the pool. 18 PIs
+/// keep simulation non-exhaustive (random patterns), which is what routes
+/// unreached don't-care candidates to SAT in the first place.
+Aig dominant_cone_circuit() {
+    BenchmarkProfile profile;
+    profile.name = "intracone_big";
+    profile.num_pis = 18;
+    profile.num_pos = 1;
+    profile.chain_length = 28;
+    profile.num_shared = 8;
+    profile.seed = 47;
+    return synthetic_control_circuit(profile);
+}
+
+struct IntraConeResult {
+    int jobs = 0;
+    double off_seconds = 0.0;
+    double on_seconds = 0.0;
+    std::uint64_t queries = 0;           ///< SAT don't-care proofs in the `on` run
+    std::uint64_t parallel_batches = 0;  ///< multi-task fan-out dispatches in the `on` run
+    bool identical = false;
+};
+
+/// The dominant-cone circuit with the intra-cone fan-out off then on, cold
+/// caches both times; `identical` is structural-hash equality plus equal
+/// deterministic work spend.
+IntraConeResult intracone_sweep(const Aig& circuit, const LookaheadParams& params, int jobs) {
+    auto run_mode = [&](bool intra, std::uint64_t* hash, std::uint64_t* work) {
+        clear_engine_caches();
+        EngineOptions engine;
+        engine.jobs = jobs;
+        engine.intra_cone = intra;
+        OptimizeStats stats;
+        Stopwatch sw;
+        const Aig out = optimize_timing_engine(circuit, params, engine, &stats);
+        const double seconds = sw.elapsed_seconds();
+        if (!stats.verified) {
+            std::fprintf(stderr, "VERIFICATION FAILURE at intra_cone=%d\n", intra ? 1 : 0);
+            std::exit(1);
+        }
+        *hash = out.hash();
+        *work = stats.work_units;
+        return seconds;
+    };
+    IntraConeResult result;
+    result.jobs = jobs;
+    std::uint64_t off_hash = 0, on_hash = 0, off_work = 0, on_work = 0;
+    result.off_seconds = run_mode(false, &off_hash, &off_work);
+    Metrics& metrics = Metrics::global();
+    const std::uint64_t queries_before = metrics.counter("engine.intracone.queries").value();
+    const std::uint64_t batches_before =
+        metrics.counter("engine.intracone.parallel_batches").value();
+    result.on_seconds = run_mode(true, &on_hash, &on_work);
+    result.queries = metrics.counter("engine.intracone.queries").value() - queries_before;
+    result.parallel_batches =
+        metrics.counter("engine.intracone.parallel_batches").value() - batches_before;
+    result.identical = off_hash == on_hash && off_work == on_work;
+    std::printf("  jobs=%-3d intra off %7.2fs   intra on %7.2fs   speedup %.2fx   "
+                "%llu proofs / %llu parallel batches   outputs %s\n",
+                jobs, result.off_seconds, result.on_seconds,
+                result.off_seconds / result.on_seconds,
+                static_cast<unsigned long long>(result.queries),
+                static_cast<unsigned long long>(result.parallel_batches),
+                result.identical ? "identical" : "DIFFER (BUG)");
+    std::fflush(stdout);
+    return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,6 +389,17 @@ int main(int argc, char** argv) {
                 batch.size(), batch.size() - 1, steal_jobs);
     const StealResult steal = steal_sweep(batch, params, steal_jobs);
 
+    // Intra-cone fan-out on the single dominant cone, at the same largest
+    // job count; random patterns forced so the SAT don't-care path runs.
+    const Aig dominant = dominant_cone_circuit();
+    LookaheadParams intracone_params = params;
+    intracone_params.force_random_patterns = true;
+    std::printf("intra-cone sweep: single dominant cone (%zu PIs, depth %d, %zu ANDs), "
+                "--jobs %d\n",
+                dominant.num_pis(), dominant.depth(), dominant.count_reachable_ands(),
+                steal_jobs);
+    const IntraConeResult intracone = intracone_sweep(dominant, intracone_params, steal_jobs);
+
     std::string json = "{\"circuit\":\"rca" + std::to_string(bits) + "\",\"bits\":" +
                        std::to_string(bits) + ",\"iterations\":" + std::to_string(iterations) +
                        ",\"hardware_threads\":" + std::to_string(ThreadPool::hardware_jobs()) +
@@ -327,11 +415,22 @@ int main(int argc, char** argv) {
                        ",\"off_seconds\":" + std::to_string(steal.off_seconds) +
                        ",\"on_seconds\":" + std::to_string(steal.on_seconds) +
                        ",\"speedup\":" + std::to_string(steal.off_seconds / steal.on_seconds) +
-                       ",\"identical\":" + (steal.identical ? "true" : "false") + "}}\n";
+                       ",\"identical\":" + (steal.identical ? "true" : "false") + "}" +
+                       ",\"intracone\":{\"jobs\":" + std::to_string(intracone.jobs) +
+                       ",\"queries\":" + std::to_string(intracone.queries) +
+                       ",\"parallel_batches\":" + std::to_string(intracone.parallel_batches) +
+                       ",\"off_seconds\":" + std::to_string(intracone.off_seconds) +
+                       ",\"on_seconds\":" + std::to_string(intracone.on_seconds) +
+                       ",\"speedup\":" +
+                       std::to_string(intracone.off_seconds / intracone.on_seconds) +
+                       ",\"identical\":" + (intracone.identical ? "true" : "false") + "}}\n";
     if (std::FILE* f = std::fopen("BENCH_parallel.json", "w")) {
         std::fputs(json.c_str(), f);
         std::fclose(f);
         std::printf("wrote BENCH_parallel.json\n");
     }
-    return identical && budgeted_identical && bdd_sharing_observed && steal.identical ? 0 : 1;
+    return identical && budgeted_identical && bdd_sharing_observed && steal.identical &&
+                   intracone.identical
+               ? 0
+               : 1;
 }

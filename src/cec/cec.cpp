@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/bitops.hpp"
+#include "common/cancel.hpp"
 #include "sim/simulation.hpp"
 
 namespace lls {
@@ -82,7 +83,7 @@ std::optional<std::vector<bool>> simulation_counterexample(const Aig& a, const A
 }  // namespace
 
 CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit,
-                            WorkCost* cost) {
+                            const RunContext& ctx) {
     LLS_REQUIRE(a.num_pis() == b.num_pis());
     LLS_REQUIRE(a.num_pos() == b.num_pos());
 
@@ -114,7 +115,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
 
     Rng rng(0xfaced5eedULL);
     const Aig swept = sat_sweep(joint, rng, /*conflict_limit=*/5000, /*num_patterns=*/2048,
-                                /*depth_aware=*/false, cost);
+                                /*depth_aware=*/false, ctx);
 
     std::vector<std::size_t> unresolved;
     for (std::size_t o = 0; o < a.num_pos(); ++o)
@@ -125,6 +126,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
     }
 
     sat::Solver solver;
+    solver.bind_run_context(&ctx);
     std::vector<int> pi_vars(swept.num_pis());
     for (auto& v : pi_vars) v = solver.new_var();
     const auto node_lits = encode_aig_nodes(swept, solver, pi_vars);
@@ -144,7 +146,8 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
     solver.add_clause(std::move(xor_lits));
 
     const sat::Status status = solver.solve({}, conflict_limit);
-    if (cost) cost->sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
+    if (ctx.cost != nullptr)
+        ctx.cost->sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
     if (status == sat::Status::Unknown) {
         result.resolved = false;
         return result;
@@ -161,7 +164,7 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
 }
 
 Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit, std::size_t num_patterns,
-              bool depth_aware, WorkCost* cost) {
+              bool depth_aware, const RunContext& ctx) {
     const SimPatterns patterns =
         aig.num_pis() <= SimPatterns::kMaxExhaustivePis
             ? SimPatterns::exhaustive(aig.num_pis())
@@ -173,6 +176,7 @@ Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit, std::size_t
     std::vector<Signature> sigs = simulate(aig, patterns);
 
     sat::Solver solver;
+    solver.bind_run_context(&ctx);
     std::vector<int> pi_vars(aig.num_pis());
     for (auto& v : pi_vars) v = solver.new_var();
     const std::vector<sat::Lit> node_lit = encode_aig_nodes(aig, solver, pi_vars);
@@ -245,7 +249,12 @@ Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit, std::size_t
 
     // Returns 1 if (x=1 and y=1) proven impossible, 0 if satisfiable (the
     // model is recorded as a refinement pattern), -1 if unresolved.
+    // Cancellation is polled here, between queries, so a fired cone
+    // deadline ends the sweep at query granularity rather than only when
+    // the next solve's amortized in-loop poll happens to trigger.
     auto try_impossible = [&](sat::Lit x, sat::Lit y) -> int {
+        poll_cancellation("sweep");
+        ctx.poll_cancellation("sweep");
         const sat::Status status = solver.solve({x, y}, conflict_limit);
         if (status == sat::Status::Unsat) return 1;
         if (status == sat::Status::Sat) {
@@ -318,7 +327,8 @@ Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit, std::size_t
         const AigLit po = aig.po(i);
         out.add_po(po.complemented() ? !remap[po.node()] : remap[po.node()], aig.po_name(i));
     }
-    if (cost) cost->sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
+    if (ctx.cost != nullptr)
+        ctx.cost->sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
     return out.cleanup();
 }
 

@@ -4,8 +4,8 @@
 #include <vector>
 
 #include "aig/aig.hpp"
-#include "common/budget.hpp"
 #include "common/rng.hpp"
+#include "common/run_context.hpp"
 #include "sat/solver.hpp"
 
 namespace lls {
@@ -36,11 +36,14 @@ struct CecResult {
 /// SAT-based combinational equivalence check of two AIGs with identical
 /// PI/PO interfaces (the paper's post-optimization verification step).
 /// A bit-parallel random-simulation pre-pass catches most inequivalences
-/// without touching the solver. When `cost` is given, the SAT conflicts
-/// spent by the internal sweep and the final miter are accumulated into it
-/// (deterministic work metering for budgeted runs, common/budget.hpp).
+/// without touching the solver. `ctx` (common/run_context.hpp) is the
+/// caller's run context: its `cost` sink (when attached) accumulates the
+/// SAT conflicts spent by the internal sweep and the final miter
+/// (deterministic work metering for budgeted runs, common/budget.hpp),
+/// and its cancellation sources are bound into every solver so a fired
+/// cone deadline or shutdown token reaches the miter mid-solve.
 CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_limit = -1,
-                            WorkCost* cost = nullptr);
+                            const RunContext& ctx = RunContext{});
 
 /// SAT sweeping (fraiging): merges functionally equivalent internal nodes,
 /// up to complement. Candidates are proposed by random-simulation
@@ -53,8 +56,13 @@ CecResult check_equivalence(const Aig& a, const Aig& b, std::int64_t conflict_li
 /// synthesis flow) a node is never merged into a *deeper* representative;
 /// the CEC path disables this so structurally different implementations can
 /// collapse onto each other.
+///
+/// `ctx.cost` (when attached) accumulates the solver's conflicts; the
+/// sweep additionally polls cancellation between individual SAT queries —
+/// not just inside the solve loop — so `--cone-deadline` and shutdown
+/// tokens fire at query granularity during area recovery.
 Aig sat_sweep(const Aig& aig, Rng& rng, std::int64_t conflict_limit = 2000,
               std::size_t num_patterns = 1024, bool depth_aware = true,
-              WorkCost* cost = nullptr);
+              const RunContext& ctx = RunContext{});
 
 }  // namespace lls

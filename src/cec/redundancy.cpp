@@ -1,6 +1,7 @@
 #include "cec/redundancy.hpp"
 
 #include "cec/cec.hpp"
+#include "common/cancel.hpp"
 #include "sim/simulation.hpp"
 
 namespace lls {
@@ -32,7 +33,7 @@ Aig with_edge_stuck_at_1(const Aig& aig, std::uint32_t node, int slot) {
 }  // namespace
 
 Aig remove_redundancies(const Aig& aig, Rng& rng, int max_removals,
-                        std::int64_t conflict_limit) {
+                        std::int64_t conflict_limit, const RunContext& ctx) {
     Aig current = aig.cleanup();
     // Each accepted removal renumbers the graph, so the scan restarts; a
     // full scan without a find is the fixpoint. Removing one redundancy can
@@ -48,6 +49,8 @@ Aig remove_redundancies(const Aig& aig, Rng& rng, int max_removals,
         for (std::uint32_t id = 1; id < current.num_nodes() && !changed; ++id) {
             if (!current.is_and(id)) continue;
             for (int slot = 0; slot < 2 && !changed; ++slot) {
+                poll_cancellation("redundancy");
+                ctx.poll_cancellation("redundancy");
                 const Aig faulty = with_edge_stuck_at_1(current, id, slot);
 
                 // Simulation screen: a pattern that detects the fault
@@ -63,7 +66,7 @@ Aig remove_redundancies(const Aig& aig, Rng& rng, int max_removals,
                 }
                 if (detected) continue;
                 if (!patterns.is_exhaustive()) {
-                    const CecResult cec = check_equivalence(current, faulty, conflict_limit);
+                    const CecResult cec = check_equivalence(current, faulty, conflict_limit, ctx);
                     if (!cec.resolved || !cec.equivalent) continue;
                 }
                 current = faulty.cleanup();

@@ -1,0 +1,123 @@
+#pragma once
+
+// RunContext: the one plumbing path for cross-cutting run state.
+//
+// Before this type existed the engine threaded its shared state through
+// five ad-hoc channels — `DecomposeHooks` (fault injection + exact-verify
+// switches + shared BDD manager), raw `WorkCost*` parameters, a
+// `FaultContext*`, a `BddManager*`, and the thread-local `CancelScope` —
+// each with its own ownership and default-argument conventions. A layer
+// that wanted one more piece of context forced a signature change through
+// every caller, which is exactly what kept the inner loops from being
+// handed a thread pool safely.
+//
+// A RunContext bundles all of it: the engine constructs one per cone
+// evaluation (per retry rung), and decompose -> reduce -> simplify ->
+// cec -> sat all take a `const RunContext&`. Every field is an unowned
+// pointer that must outlive the call; every field defaults to "absent", so
+// `RunContext{}` is a valid do-nothing context for tests and simple CLI
+// paths.
+//
+// The `executor` field is what makes the third scheduling level possible:
+// secondary simplification fans its independent per-cube SAT don't-care
+// proofs across the (reentrant, help-while-waiting) pool, with verdicts
+// committed and WorkCost charged in fixed index order after the join so
+// the fan-out stays invisible to budgeted determinism and byte-identity
+// (docs/ENGINE.md, "Run context & three-level scheduling").
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/budget.hpp"
+#include "common/cancel.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
+
+namespace lls {
+
+class BddManager;
+class Metrics;
+class ThreadPool;
+
+struct RunContext {
+    /// Deterministic work sink of the current evaluation: attempts and SAT
+    /// conflicts are accumulated here, always at serial points or in fixed
+    /// index order after a parallel join (common/budget.hpp). May be null
+    /// (work is then unmetered, as for ad-hoc CLI verification calls).
+    WorkCost* cost = nullptr;
+
+    /// Fault-injection context of the current retry rung, or null for
+    /// fault-free execution. Stages call `check_fault(site, stage)` at
+    /// their counted work points ("decompose", "spcf", "sat", "cec").
+    const FaultContext* faults = nullptr;
+
+    /// Process/batch-level shutdown token, or null. Together with
+    /// `deadline` this mirrors what the evaluating thread's CancelScope
+    /// holds — carried explicitly so work fanned out via `executor` can
+    /// install the same scope on whichever worker picks it up, and so the
+    /// SAT solver can poll the context directly between decisions.
+    const CancelToken* cancel = nullptr;
+
+    /// Per-cone wall-clock watchdog (unarmed-or-null = never expires).
+    const Deadline* deadline = nullptr;
+
+    /// Run-wide concurrency-safe BDD manager for exact verification, or
+    /// null. When set and the cone fits its variable count, rung-2 exact
+    /// verify builds in it; exhaustion of the shared pool falls back to a
+    /// private manager bounded by `exact_verify_bdd_limit`, so a crowded
+    /// pool can never flip a verdict the private manager would reach
+    /// (docs/ENGINE.md, "Shared BDD manager").
+    BddManager* shared_bdd = nullptr;
+
+    /// Final-equivalence switch of the engine's retry ladder: SAT-based
+    /// CEC when false, canonical-BDD comparison when true (rung 2).
+    bool exact_verify = false;
+    std::size_t exact_verify_bdd_limit = std::size_t{1} << 21;
+
+    /// Metrics registry, or null to fall back to the process-global one.
+    Metrics* metrics = nullptr;
+
+    /// Intra-cone executor: the run's reentrant pool, or null for strictly
+    /// serial inner loops. Purely an execution knob — consumers must keep
+    /// results identical with and without it (fixed-order joins).
+    ThreadPool* executor = nullptr;
+
+    /// Gate for the intra-cone fan-out (`lls_opt --intra-cone`). Kept
+    /// separate from `executor` so one context can serve both modes.
+    bool intra_cone = true;
+
+    /// The executor to fan intra-cone work across, or null when the
+    /// fan-out is disabled or no pool was provided.
+    ThreadPool* intra_cone_executor() const { return intra_cone ? executor : nullptr; }
+
+    /// Fires the planned fault for `site` (if any) as LlsError at `stage`.
+    void check_fault(std::string_view site, std::string_view stage) const {
+        if (faults != nullptr) faults->check(site, stage);
+    }
+
+    /// Merges `delta` into the context's work sink, if one is attached.
+    void charge(const WorkCost& delta) const {
+        if (cost != nullptr) *cost += delta;
+    }
+
+    /// True when the context's token was requested or its deadline has
+    /// expired. Unlike the thread-local `lls::cancel_pending()`, this reads
+    /// the clock unamortized — it is the *between-queries* poll, where each
+    /// unit of work dwarfs a clock read. Per-decision hot loops amortize it
+    /// themselves (sat::Solver::bind_run_context).
+    bool cancel_pending() const {
+        if (cancel != nullptr && cancel->requested()) return true;
+        return deadline != nullptr && deadline->expired();
+    }
+
+    /// Throws LlsError{Cancelled} at `stage` when a cancellation source
+    /// fired, otherwise returns immediately.
+    void poll_cancellation(const char* stage) const {
+        if (!cancel_pending()) return;
+        const bool shutdown = cancel != nullptr && cancel->requested();
+        throw LlsError(ErrorKind::Cancelled,
+                       shutdown ? "cancellation requested" : "cone deadline expired", stage);
+    }
+};
+
+}  // namespace lls

@@ -70,16 +70,16 @@ std::uint64_t params_fingerprint(const LookaheadParams& p) {
 
 /// Equivalence check with the structural-hash verdict memo in front. Only
 /// resolved verdicts are stored; a memo hit returns no counterexample
-/// (engine callers only branch on resolved/equivalent). `cost` meters the
-/// SAT work actually performed — a memo hit honestly reports zero, which
-/// is why serial-stage CEC work feeds --metrics but is never charged
+/// (engine callers only branch on resolved/equivalent). `ctx.cost` meters
+/// the SAT work actually performed — a memo hit honestly reports zero,
+/// which is why serial-stage CEC work feeds --metrics but is never charged
 /// against the deterministic budget (docs/ENGINE.md, "Budget semantics").
 /// A hit on a verdict imported from the persistent store is noted against
 /// `warm` for the `persist.warm_hits` split.
 CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t conflict_limit,
-                                 bool use_cache, WorkCost* cost = nullptr,
+                                 bool use_cache, const RunContext& ctx = RunContext{},
                                  WarmStart* warm = nullptr) {
-    if (!use_cache) return check_equivalence(a, b, conflict_limit, cost);
+    if (!use_cache) return check_equivalence(a, b, conflict_limit, ctx);
     // Not std::minmax: it returns references into the hash() temporaries,
     // which dangle once this statement ends.
     const std::uint64_t ha = a.hash(), hb = b.hash();
@@ -91,7 +91,7 @@ CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t confli
         r.resolved = true;
         return r;
     }
-    CecResult r = check_equivalence(a, b, conflict_limit, cost);
+    CecResult r = check_equivalence(a, b, conflict_limit, ctx);
     if (r.resolved) cec_memo().put(key, r.equivalent);
     return r;
 }
@@ -159,14 +159,25 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     // verification): one concurrency-safe manager every worker builds
     // into, so identical subgraphs are constructed once per run instead of
     // once per cone per worker. Sized to the full pool cap — exhaustion is
-    // a safety rail, not a routine boundary, and the decompose hook falls
-    // back to a private manager when it fires. Circuits beyond the
+    // a safety rail, not a routine boundary, and the exact-verify path
+    // falls back to a private manager when it fires. Circuits beyond the
     // manager's variable-packing range simply run without one — exactly
     // the inputs whose cones exact verification could never build anyway.
-    std::shared_ptr<BddManager> shared_bdd;
-    if (engine.shared_bdd && original.num_pis() < (std::size_t{1} << 20))
-        shared_bdd = std::make_shared<BddManager>(static_cast<int>(original.num_pis()),
-                                                  /*node_limit=*/std::size_t{1} << 22);
+    // Batch mode hands every item the same externally owned manager
+    // (engine.shared_bdd_manager), so parallel items reuse each other's
+    // subgraphs instead of each building a private run-wide pool.
+    std::shared_ptr<BddManager> own_shared_bdd;
+    BddManager* shared_bdd = nullptr;
+    if (engine.shared_bdd) {
+        if (engine.shared_bdd_manager != nullptr &&
+            original.num_pis() <= static_cast<std::size_t>(engine.shared_bdd_manager->num_vars())) {
+            shared_bdd = engine.shared_bdd_manager;
+        } else if (original.num_pis() < (std::size_t{1} << 20)) {
+            own_shared_bdd = std::make_shared<BddManager>(static_cast<int>(original.num_pis()),
+                                                          /*node_limit=*/std::size_t{1} << 22);
+            shared_bdd = own_shared_bdd.get();
+        }
+    }
 
     // Deterministic work budget: charged only at serial points with the
     // per-cone costs of each round's evaluations, so `budget.exhausted()`
@@ -186,6 +197,16 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         return engine.cancel != nullptr && engine.cancel->requested();
     };
     const CancelScope serial_cancel_scope(engine.cancel, nullptr);
+    // Context of the *serial* stages (SAT sweeping, CEC): observability
+    // cost sink plus the shutdown token, never a deadline or executor —
+    // serial-stage work is uncharged and single-threaded by design.
+    auto serial_context = [&](WorkCost& cost) {
+        RunContext ctx;
+        ctx.cost = &cost;
+        ctx.cancel = engine.cancel;
+        ctx.metrics = &metrics;
+        return ctx;
+    };
     auto wall_clock_expired = [&]() {
         if (wall_clock_fired.load(std::memory_order_relaxed)) return true;
         if (params.time_budget_seconds > 0.0 &&
@@ -258,14 +279,25 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     rung_params.sat_conflict_limit =
                         std::max<std::int64_t>(params.sat_conflict_limit, 1) * 16;
                 const FaultContext fault_context(&fault_plan, rung);
-                DecomposeHooks hooks;
-                hooks.faults = &fault_context;
-                hooks.exact_verify = rung == 2;
-                hooks.shared_bdd = shared_bdd.get();
+                // The one plumbing path down the decompose -> reduce ->
+                // simplify -> cec -> sat stack: deterministic cost sink,
+                // fault rung, cancellation sources (mirroring the
+                // CancelScope above, so fanned-out work re-installs them on
+                // whichever worker runs it), the run-wide BDD manager, and
+                // the intra-cone executor for the per-cube SAT don't-care
+                // fan-out (third scheduling level).
+                RunContext ctx = cone_run_context(evaluation);
+                ctx.faults = &fault_context;
+                ctx.cancel = engine.cancel;
+                ctx.deadline = &cone_deadline;
+                ctx.shared_bdd = shared_bdd;
+                ctx.exact_verify = rung == 2;
+                ctx.metrics = &metrics;
+                ctx.executor = pool.size() > 0 ? &pool : nullptr;
+                ctx.intra_cone = engine.intra_cone;
                 Rng cone_rng(hash_mix(fingerprint, cone_hash));
                 try {
-                    if (auto outcome =
-                            decompose_output(cone, rung_params, cone_rng, &evaluation.cost, &hooks))
+                    if (auto outcome = decompose_output(cone, rung_params, cone_rng, ctx))
                         evaluation.outcome =
                             std::make_shared<const DecomposeOutcome>(std::move(*outcome));
                     if (faulted) {
@@ -499,7 +531,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 const ScopedTimer sweep_scope(sweep_timer);
                 WorkCost sweep_cost;
                 candidate = sat_sweep(candidate, rng, /*conflict_limit=*/2000,
-                                      /*num_patterns=*/1024, /*depth_aware=*/true, &sweep_cost);
+                                      /*num_patterns=*/1024, /*depth_aware=*/true,
+                                      serial_context(sweep_cost));
                 work_sweep_conflicts.add(sweep_cost.sat_conflicts);
             }
 
@@ -517,7 +550,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 WorkCost cec_cost;
                 const CecResult cec =
                     check_equivalence_memo(candidate, current, /*conflict_limit=*/1000000,
-                                           engine.use_result_cache, &cec_cost,
+                                           engine.use_result_cache, serial_context(cec_cost),
                                            engine.warm_start);
                 work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
@@ -542,7 +575,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 const ScopedTimer sweep_scope(sweep_timer);
                 WorkCost sweep_cost;
                 Aig swept = sat_sweep(best, rng, /*conflict_limit=*/2000, /*num_patterns=*/1024,
-                                      /*depth_aware=*/true, &sweep_cost);
+                                      /*depth_aware=*/true, serial_context(sweep_cost));
                 work_sweep_conflicts.add(sweep_cost.sat_conflicts);
                 if (!better(best, swept)) best = std::move(swept);
             }
@@ -551,7 +584,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 WorkCost cec_cost;
                 const CecResult cec =
                     check_equivalence_memo(best, original, /*conflict_limit=*/4000000,
-                                           engine.use_result_cache, &cec_cost,
+                                           engine.use_result_cache, serial_context(cec_cost),
                                            engine.warm_start);
                 work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
@@ -588,7 +621,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     WorkCost sweep_cost;
                     restructured =
                         sat_sweep(restructured, rng, /*conflict_limit=*/2000,
-                                  /*num_patterns=*/1024, /*depth_aware=*/true, &sweep_cost);
+                                  /*num_patterns=*/1024, /*depth_aware=*/true,
+                                  serial_context(sweep_cost));
                     work_sweep_conflicts.add(sweep_cost.sat_conflicts);
                 }
                 if (restructured.depth() >= preopt.depth()) break;
@@ -599,7 +633,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 WorkCost cec_cost;
                 const CecResult cec =
                     check_equivalence_memo(preopt, original, /*conflict_limit=*/1000000,
-                                           engine.use_result_cache, &cec_cost, engine.warm_start);
+                                           engine.use_result_cache, serial_context(cec_cost),
+                                           engine.warm_start);
                 work_cec_conflicts.add(cec_cost.sat_conflicts);
                 if (!cec.resolved || !cec.equivalent) {
                     local.verified = local.verified && cec.resolved;
@@ -630,6 +665,12 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     // it (the counter is pool-cumulative).
     if (own_pool && own_pool->aborted_indices() > 0)
         metrics.counter("engine.pool.aborted_indices").add(own_pool->aborted_indices());
+    // Time a run-private pool's threads spent waiting idle across this
+    // run's fan-outs (cone rounds and intra-cone proof batches) — the cost
+    // help-while-waiting exists to shrink. A shared pool's wait is exported
+    // by the batch as engine.steal.idle_wait instead.
+    if (own_pool && engine.intra_cone && own_pool->size() > 0)
+        metrics.timer("engine.intracone.idle_wait").add_nanos(own_pool->idle_wait_nanos());
     if (stats) *stats = local;
     return best;
 }
@@ -656,9 +697,24 @@ std::vector<BatchOutcome> optimize_timing_batch(
     const bool steal = engine.steal && jobs > 1 && items.size() > 1;
     ThreadPool pool(steal ? jobs - 1
                           : std::min(jobs - 1, items.empty() ? 0 : items.size() - 1));
+    // One batch-wide BDD manager, sized to the widest item: the exact-SPCF
+    // and exact-verification BDD work of every parallel item builds into
+    // the same concurrency-safe pool, so items share subgraphs the way
+    // workers within one run already do. Per-call private-manager fallback
+    // on exhaustion is unchanged (verdicts stay deterministic); items
+    // beyond the packing range simply run without a shared manager, as
+    // before. An externally provided manager is passed through untouched.
+    std::optional<BddManager> batch_bdd;
+    if (engine.shared_bdd && engine.shared_bdd_manager == nullptr && !items.empty()) {
+        std::size_t max_pis = 0;
+        for (const auto& item : items) max_pis = std::max(max_pis, item.input.num_pis());
+        if (max_pis < (std::size_t{1} << 20))
+            batch_bdd.emplace(static_cast<int>(max_pis), /*node_limit=*/std::size_t{1} << 22);
+    }
     EngineOptions per_item = engine;
     per_item.jobs = 1;  // item-level parallelism still dominates a full batch
     per_item.shared_pool = steal ? &pool : nullptr;
+    if (batch_bdd) per_item.shared_bdd_manager = &*batch_bdd;
     std::mutex complete_mutex;
     const auto batch_cancelled = [&engine]() {
         return engine.cancel != nullptr && engine.cancel->requested();

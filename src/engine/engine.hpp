@@ -13,6 +13,7 @@
 
 namespace lls {
 
+class BddManager;
 class ThreadPool;
 class WarmStart;
 
@@ -44,6 +45,27 @@ struct EngineOptions {
     /// "Shared BDD manager"). CLI escape hatch: `lls_opt --shared-bdd
     /// off`.
     bool shared_bdd = true;
+
+    /// Externally owned concurrency-safe BddManager the run should use as
+    /// its shared manager instead of creating a private run-wide one. This
+    /// is how batch mode routes the exact-SPCF/exact-verification BDD work
+    /// of *every* parallel item through one manager: `optimize_timing_batch`
+    /// sizes a manager to the widest item and points each per-item engine
+    /// at it. The existing per-call private-manager fallback on resource
+    /// exhaustion is unchanged, so verdicts stay deterministic. Ignored
+    /// when `shared_bdd` is off or the manager cannot pack the circuit's
+    /// PIs. Not owned; must outlive the run.
+    BddManager* shared_bdd_manager = nullptr;
+
+    /// Fan the per-cube SAT don't-care proofs of secondary simplification
+    /// *inside one cone* across the run's pool (the third scheduling level
+    /// below batch items and cones). Each proof task encodes a private
+    /// solver against the same read-only snapshot and the results are
+    /// committed at a serial point in fixed task order, so outputs and
+    /// budget charges are byte-identical with this on or off, at every
+    /// `jobs` value (docs/ENGINE.md, "Run context & three-level
+    /// scheduling"). Escape hatch: `lls_opt --intra-cone off`.
+    bool intra_cone = true;
 
     /// Persistent-store bridge (engine/warm_start.hpp), or nullptr for a
     /// memory-only run. When set (and `use_result_cache` is on), the

@@ -4,13 +4,16 @@
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 #include "aig/aig_build.hpp"
 #include "bdd/aig_bdd.hpp"
+#include "bdd/bdd.hpp"
 #include "cec/cec.hpp"
 #include "common/bitops.hpp"
 #include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "engine/metrics.hpp"
 #include "lookahead/reduce.hpp"
 #include "lookahead/simplify.hpp"
@@ -40,15 +43,37 @@ bool signature_implies(const Signature& a, const Signature& b) {
     return true;
 }
 
-/// The decomposition body; `cost` collects work units on every exit path
-/// (the public wrapper merges them into the caller's accumulator).
+Metrics& metrics_of(const RunContext& ctx) {
+    return ctx.metrics != nullptr ? *ctx.metrics : Metrics::global();
+}
+
+/// One node's don't-care proof obligation in secondary simplification: the
+/// candidate minterms no !Sigma_1 pattern reached, to be proven genuinely
+/// unreachable by SAT (one independent query per minterm). Tasks are
+/// self-contained — each runs against its own solver encoding of the same
+/// pre-simplification network snapshot — so they can execute in any order,
+/// on any thread, and still produce identical verdicts and identical
+/// per-task conflict counts. That purity is the whole determinism argument
+/// of the intra-cone fan-out: the joined results are a function of the
+/// task list, never of the schedule.
+struct DcProofTask {
+    std::uint32_t node = 0;
+    TruthTable dc;                        ///< proven don't-cares (pre-filled when exhaustive)
+    std::vector<std::uint32_t> queries;   ///< minterms still needing a SAT proof
+    std::vector<char> verdicts;           ///< parallel to `queries`; 1 = proven unreachable
+    std::uint64_t conflicts = 0;          ///< this task's solver conflicts
+    std::exception_ptr error;             ///< contained failure, rethrown at the join
+};
+
+/// The decomposition body; `ctx.cost` (non-null here — the public wrapper
+/// guarantees it) collects work units on every exit path.
 std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                                                       const LookaheadParams& params, Rng& rng,
-                                                      WorkCost& cost,
-                                                      const DecomposeHooks& hooks) {
+                                                      const RunContext& ctx) {
     LLS_REQUIRE(cone.num_pos() == 1);
+    WorkCost& cost = *ctx.cost;
     poll_cancellation("decompose");
-    if (hooks.faults) hooks.faults->check("decompose", "decompose");
+    ctx.check_fault("decompose", "decompose");
     const int old_depth = cone.depth();
     if (old_depth < 2) return std::nullopt;
 
@@ -65,7 +90,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                                    ? spcf
                                    : compute_spcf(cone, patterns, aig_sigs, delta);
     const Signature& spcf_sig = spcf_at_delta.po_spcf[0];
-    if (hooks.faults) hooks.faults->check("spcf", "spcf");
+    ctx.check_fault("spcf", "spcf");
     if (spcf_at_delta.empty(0)) return std::nullopt;
 
     // --- 2. cluster into a technology-independent network -------------------
@@ -90,7 +115,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     extend_sigs_for_copies(primary_map, size_before_primary);
 
     const ReduceResult reduced =
-        reduce_cone(net, y0_root, sigs, patterns.num_patterns(), spcf_sig, &cost);
+        reduce_cone(net, y0_root, sigs, patterns.num_patterns(), spcf_sig, ctx);
     if (!reduced.improved || reduced.windows.empty()) return std::nullopt;
 
     // Window nodes: one agreement node per marked node, conjoined by a
@@ -126,35 +151,20 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     extend_sigs_for_copies(secondary_map, size_before_secondary);
 
     if (params.secondary_simplification) {
-        if (hooks.faults) hooks.faults->check("sat", "simplify");
+        ctx.check_fault("sat", "simplify");
         // With random patterns a zero sampled weight is only evidence; every
         // cube drop must be proven unreachable under !Sigma_1 by SAT before
         // it becomes a don't-care (DESIGN.md, "Key algorithmic decisions").
         const bool need_sat = !patterns.is_exhaustive();
-        sat::Solver solver;
-        std::vector<sat::Lit> net_sat_lit;
-        if (need_sat) {
-            std::vector<AigLit> node_map;
-            const Aig snapshot = net.to_aig_with_map(&node_map);
-            std::vector<int> pi_vars(snapshot.num_pis());
-            for (auto& v : pi_vars) v = solver.new_var();
-            const auto aig_lits = encode_aig_nodes(snapshot, solver, pi_vars);
-            net_sat_lit.resize(net.num_nodes());
-            for (std::uint32_t id = 0; id < net.num_nodes(); ++id)
-                net_sat_lit[id] = sat_lit_of(aig_lits, node_map[id]);
-        }
+        std::vector<AigLit> node_map;
+        Aig snapshot;
+        if (need_sat) snapshot = net.to_aig_with_map(&node_map);
 
-        auto minterm_provably_unreachable = [&](std::uint32_t node, std::uint32_t minterm) {
-            if (patterns.is_exhaustive()) return true;  // sampled absence is exact
-            std::vector<sat::Lit> assumptions{!net_sat_lit[sigma]};
-            const auto& fanins = net.fanins(node);
-            for (std::size_t f = 0; f < fanins.size(); ++f) {
-                const sat::Lit l = net_sat_lit[fanins[f]];
-                assumptions.push_back(((minterm >> f) & 1) ? l : !l);
-            }
-            return solver.solve(assumptions, params.sat_conflict_limit) == sat::Status::Unsat;
-        };
-
+        // Phase A (serial): collect per-node don't-care candidates from the
+        // sampled signatures. Node functions are untouched during this and
+        // the proof phase, so `net`, `snapshot`, and `sigs` are read-only
+        // shared state for the tasks below.
+        std::vector<DcProofTask> proof_tasks;
         const auto y1_levels = net.compute_sop_levels();
         for (const auto node : net.cone_of(y1_root)) {
             poll_cancellation("simplify");
@@ -177,16 +187,105 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                     reached.set_bit(minterm, true);
                 }
             }
-            TruthTable dc(k);
+            DcProofTask task;
+            task.node = node;
+            task.dc = TruthTable(k);
             for (std::uint32_t m = 0; m < (1u << k); ++m) {
                 if (reached.get_bit(m)) continue;
-                if (minterm_provably_unreachable(node, m)) dc.set_bit(m, true);
+                // Exhaustive patterns make sampled absence a proof already.
+                if (need_sat) task.queries.push_back(m);
+                else task.dc.set_bit(m, true);
             }
-            if (dc.is_const0()) continue;
-            const TruthTable new_f = minimum_sop(f & ~dc, dc).to_truth_table();
-            if (!(new_f == f)) net.set_function(node, new_f);
+            if (task.queries.empty() && task.dc.is_const0()) continue;
+            proof_tasks.push_back(std::move(task));
         }
-        cost.sat_conflicts += static_cast<std::uint64_t>(solver.num_conflicts());
+
+        // Phase B: prove the candidates. Each task encodes the shared
+        // snapshot into its own solver and runs its minterm queries in
+        // minterm order — structurally identical work whether the tasks run
+        // serially here or fanned out across the pool, which is what keeps
+        // `--intra-cone on|off` (and every --jobs value) byte-identical.
+        // Errors are contained per task, every index always executes, and
+        // the join below charges conflicts in task order up to the first
+        // error — so the charge stream cannot depend on the schedule.
+        if (need_sat && !proof_tasks.empty()) {
+            auto run_task = [&](std::size_t t) {
+                DcProofTask& task = proof_tasks[t];
+                // A pool worker may arrive here from any cone or batch
+                // item; install this cone's cancellation scope so the
+                // thread-local polls inside the solver see the right
+                // deadline (nesting-safe: CancelScope saves/restores).
+                const CancelScope task_scope(ctx.cancel, ctx.deadline);
+                sat::Solver solver;
+                solver.bind_run_context(&ctx);
+                try {
+                    std::vector<int> pi_vars(snapshot.num_pis());
+                    for (auto& v : pi_vars) v = solver.new_var();
+                    const auto aig_lits = encode_aig_nodes(snapshot, solver, pi_vars);
+                    const sat::Lit sigma_lit = sat_lit_of(aig_lits, node_map[sigma]);
+                    const auto& fanins = net.fanins(task.node);
+                    task.verdicts.assign(task.queries.size(), 0);
+                    for (std::size_t q = 0; q < task.queries.size(); ++q) {
+                        // Between-queries poll: a fired cone deadline (or a
+                        // shutdown) stops the sweep at the next query
+                        // boundary instead of grinding through the rest of
+                        // the proof batch.
+                        ctx.poll_cancellation("simplify");
+                        const std::uint32_t minterm = task.queries[q];
+                        std::vector<sat::Lit> assumptions{!sigma_lit};
+                        for (std::size_t f = 0; f < fanins.size(); ++f) {
+                            const sat::Lit l = sat_lit_of(aig_lits, node_map[fanins[f]]);
+                            assumptions.push_back(((minterm >> f) & 1) ? l : !l);
+                        }
+                        task.verdicts[q] =
+                            solver.solve(assumptions, params.sat_conflict_limit) ==
+                            sat::Status::Unsat;
+                    }
+                } catch (...) {
+                    task.error = std::current_exception();
+                }
+                task.conflicts = static_cast<std::uint64_t>(solver.num_conflicts());
+            };
+
+            ThreadPool* executor = ctx.intra_cone_executor();
+            if (executor != nullptr && proof_tasks.size() > 1) {
+                metrics_of(ctx).counter("engine.intracone.parallel_batches").add();
+                // run_task never throws (errors are recorded per task), so
+                // the fan-out always executes every index — required: the
+                // join must see a verdict-or-error for each task.
+                executor->parallel_for(0, proof_tasks.size(), run_task);
+            } else {
+                for (std::size_t t = 0; t < proof_tasks.size(); ++t) run_task(t);
+            }
+
+            // Deterministic join: resolve verdicts and charge conflicts in
+            // fixed task order. On error, charge through the first failing
+            // task (its partial conflicts are a pure function of the task
+            // for deterministic kinds like ResourceExhausted) and rethrow;
+            // later tasks ran but stay uncharged in both execution modes.
+            std::uint64_t sat_queries = 0;
+            std::exception_ptr first_error;
+            for (DcProofTask& task : proof_tasks) {
+                cost.sat_conflicts += task.conflicts;
+                sat_queries += task.queries.size();
+                if (task.error) {
+                    first_error = task.error;
+                    break;
+                }
+                for (std::size_t q = 0; q < task.queries.size(); ++q)
+                    if (task.verdicts[q]) task.dc.set_bit(task.queries[q], true);
+            }
+            metrics_of(ctx).counter("engine.intracone.queries").add(sat_queries);
+            if (first_error) std::rethrow_exception(first_error);
+        }
+
+        // Phase C (serial): commit the proven don't-cares in cone order.
+        for (const DcProofTask& task : proof_tasks) {
+            if (task.dc.is_const0()) continue;
+            const TruthTable& f = net.function(task.node);
+            const TruthTable new_f = minimum_sop(f & ~task.dc, task.dc).to_truth_table();
+            if (!(new_f == f)) net.set_function(task.node, new_f);
+        }
     }
 
     // --- 5. reconstruction with implication rules ---------------------------
@@ -205,6 +304,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     // Implication oracle: signature screen first (sound for refutation),
     // exhaustive patterns prove directly, otherwise SAT proves.
     sat::Solver impl_solver;
+    impl_solver.bind_run_context(&ctx);
     std::vector<sat::Lit> full_sat;
     bool impl_solver_ready = false;
     auto ensure_impl_solver = [&]() {
@@ -275,8 +375,8 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                 old_depth, new_depth, candidates[best].rule.c_str(), levels[s.node()],
                 levels[a.node()], levels[b.node()]);
     if (new_depth > old_depth) return std::nullopt;
-    if (hooks.faults) hooks.faults->check("cec", "cec");
-    if (hooks.exact_verify) {
+    ctx.check_fault("cec", "cec");
+    if (ctx.exact_verify) {
         // Last-resort rung of the engine's retry ladder: canonical BDDs
         // decide equivalence exactly instead of bounding SAT effort. The
         // shared run-wide manager is tried first (cross-cone/cross-worker
@@ -285,22 +385,20 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
         // of (cone, params) rather than of the thread schedule.
         bool equivalent = false;
         bool decided = false;
-        if (hooks.shared_bdd &&
-            static_cast<int>(result.num_pis()) <= hooks.shared_bdd->num_vars()) {
+        if (ctx.shared_bdd != nullptr &&
+            static_cast<int>(result.num_pis()) <= ctx.shared_bdd->num_vars()) {
             try {
-                equivalent = bdd_equivalent(result, cone, *hooks.shared_bdd);
+                equivalent = bdd_equivalent(result, cone, *ctx.shared_bdd);
                 decided = true;
             } catch (const LlsError& e) {
                 if (e.kind() != ErrorKind::ResourceExhausted) throw;
-                static MetricCounter& fallbacks =
-                    Metrics::global().counter("bdd.shared.exact_verify_fallbacks");
-                fallbacks.add();
+                metrics_of(ctx).counter("bdd.shared.exact_verify_fallbacks").add();
             }
         }
-        if (!decided) equivalent = bdd_equivalent(result, cone, hooks.exact_verify_bdd_limit);
+        if (!decided) equivalent = bdd_equivalent(result, cone, ctx.exact_verify_bdd_limit);
         if (!equivalent) return std::nullopt;
     } else {
-        const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000, &cost);
+        const CecResult cec = check_equivalence(result, cone, /*conflict_limit=*/500000, ctx);
         if (!cec.resolved || !cec.equivalent) return std::nullopt;
     }
 
@@ -316,19 +414,19 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
 }  // namespace
 
 std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
-                                                 Rng& rng, WorkCost* cost,
-                                                 const DecomposeHooks* hooks) {
+                                                 Rng& rng, const RunContext& ctx) {
     WorkCost local;
     local.decompositions = 1;  // the attempt itself, even when it bails early
-    const DecomposeHooks no_hooks;
+    RunContext inner = ctx;
+    inner.cost = &local;
     try {
-        auto result = decompose_output_impl(cone, params, rng, local, hooks ? *hooks : no_hooks);
-        if (cost) *cost += local;
+        auto result = decompose_output_impl(cone, params, rng, inner);
+        ctx.charge(local);
         return result;
     } catch (...) {
         // A faulted attempt charges the budget exactly like a completed
         // one — budgeted determinism must hold on recovery paths too.
-        if (cost) *cost += local;
+        ctx.charge(local);
         throw;
     }
 }

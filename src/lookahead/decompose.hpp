@@ -4,41 +4,11 @@
 #include <string>
 
 #include "aig/aig.hpp"
-#include "bdd/bdd.hpp"
-#include "common/budget.hpp"
-#include "common/fault.hpp"
 #include "common/rng.hpp"
+#include "common/run_context.hpp"
 #include "lookahead/params.hpp"
 
 namespace lls {
-
-/// Fault-containment hooks the engine threads into a cone decomposition.
-///
-/// `faults` is the deterministic injection context of the current retry
-/// rung: the pipeline stages call `faults->check(site, stage)` at their
-/// counted work points ("decompose", "spcf", "sat", "cec"), which throws
-/// the planned synthetic LlsError when the active fault plan poisons that
-/// site on this rung. `exact_verify` switches the final equivalence check
-/// from SAT-based CEC to canonical-BDD comparison — the engine's
-/// last-resort verification rung when the SAT solver keeps hitting its
-/// effort limit.
-///
-/// `shared_bdd` (optional) is the engine's run-wide concurrency-safe
-/// manager: when set and the cone fits its variable count, the exact
-/// verification builds in it, reusing subgraphs other cones and workers
-/// already constructed instead of rebuilding them per call. If the shared
-/// pool's global node limit is exhausted mid-verification the rung falls
-/// back to a *private* manager bounded by `exact_verify_bdd_limit`, so a
-/// crowded pool can never flip a verdict the private manager would reach —
-/// at worst the warm pool *completes* a verification the cold private
-/// limit would abandon, which recovers strictly more cones and is always
-/// an exact verdict (docs/ENGINE.md, "Shared BDD manager").
-struct DecomposeHooks {
-    const FaultContext* faults = nullptr;
-    bool exact_verify = false;
-    std::size_t exact_verify_bdd_limit = std::size_t{1} << 21;
-    BddManager* shared_bdd = nullptr;
-};
 
 /// Result of one level of lookahead decomposition on a single-output cone.
 struct DecomposeOutcome {
@@ -65,19 +35,24 @@ struct DecomposeOutcome {
 ///
 /// Returns nullopt when no depth improvement is found.
 ///
-/// When `cost` is given, the deterministic work spent on this cone is
-/// accumulated into it: one decomposition attempt for the cone itself, one
-/// per node-simplification attempt inside `reduce_cone`, and every SAT
-/// conflict of the don't-care, implication, and verification queries. The
-/// total is a pure function of (cone, params, rng seed) — the engine's
-/// budgeted-determinism guarantee rests on this (common/budget.hpp).
+/// `ctx` is the engine's per-rung RunContext (common/run_context.hpp) and
+/// the only plumbing path into the pipeline: its `cost` sink accumulates
+/// the deterministic work spent on this cone (one decomposition attempt
+/// for the cone itself, one per node-simplification attempt inside
+/// `reduce_cone`, and every SAT conflict of the don't-care, implication,
+/// and verification queries — a pure function of (cone, params, rng seed),
+/// which budgeted determinism rests on); `faults` carries the injection
+/// context of the current retry rung; `exact_verify`/`shared_bdd` select
+/// and back the rung-2 exact equivalence check; `executor` (with
+/// `intra_cone`) lets step 4 fan its independent per-cube SAT don't-care
+/// proofs across the pool — verdicts are committed and conflicts charged
+/// in fixed index order after the join, so the result and the charge
+/// stream are identical with and without the fan-out.
 ///
-/// Work spent before an exception is still merged into `cost`, so a
-/// faulted rung charges the budget exactly like a completed one. `hooks`
-/// (optional) carries the fault-injection context and the
-/// exact-verification switch of the engine's retry ladder.
+/// Work spent before an exception is still merged into `ctx.cost`, so a
+/// faulted rung charges the budget exactly like a completed one.
 std::optional<DecomposeOutcome> decompose_output(const Aig& cone, const LookaheadParams& params,
-                                                 Rng& rng, WorkCost* cost = nullptr,
-                                                 const DecomposeHooks* hooks = nullptr);
+                                                 Rng& rng,
+                                                 const RunContext& ctx = RunContext{});
 
 }  // namespace lls

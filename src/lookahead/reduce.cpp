@@ -8,7 +8,8 @@
 namespace lls {
 
 ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature>& sigs,
-                         std::size_t num_patterns, const Signature& spcf, WorkCost* cost) {
+                         std::size_t num_patterns, const Signature& spcf,
+                         const RunContext& ctx) {
     ReduceResult result;
     std::vector<int> levels = net.compute_sop_levels();
     const int l_t = levels[root];
@@ -45,7 +46,7 @@ ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature
             visited[c] = 1;
             if (!marked[c]) {
                 if (auto outcome =
-                        simplify_node(net, c, levels, sigs, spcf, window_budget, cost)) {
+                        simplify_node(net, c, levels, sigs, spcf, window_budget, ctx)) {
                     net.set_function(c, outcome->new_tt);
                     result.windows.emplace_back(c, outcome->window_tt);
                     marked[c] = 1;

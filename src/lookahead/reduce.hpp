@@ -4,7 +4,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/budget.hpp"
+#include "common/run_context.hpp"
 #include "network/network.hpp"
 #include "sim/simulation.hpp"
 #include "tt/truth_table.hpp"
@@ -29,10 +29,10 @@ struct ReduceResult {
 /// expected to operate on a duplicated cone), and `sigs` is re-simulated
 /// incrementally so that cube weights always reflect the current network
 /// state, as the paper's "global Boolean functions of each node" require.
-/// `cost` (optional) accumulates one decomposition attempt per
+/// `ctx.cost` (when attached) accumulates one decomposition attempt per
 /// `simplify_node` call, the unit of the deterministic work budget.
 ReduceResult reduce_cone(Network& net, std::uint32_t root, std::vector<Signature>& sigs,
                          std::size_t num_patterns, const Signature& spcf,
-                         WorkCost* cost = nullptr);
+                         const RunContext& ctx = RunContext{});
 
 }  // namespace lls

@@ -45,8 +45,8 @@ std::optional<SimplifyOutcome> simplify_node(const Network& net, std::uint32_t n
                                              const std::vector<int>& levels,
                                              const std::vector<Signature>& sigs,
                                              const Signature& spcf, int window_budget,
-                                             WorkCost* cost) {
-    if (cost) ++cost->decompositions;
+                                             const RunContext& ctx) {
+    if (ctx.cost != nullptr) ++ctx.cost->decompositions;
     poll_cancellation("simplify");
     if (!net.is_internal(node)) return std::nullopt;
     const TruthTable& old_tt = net.function(node);

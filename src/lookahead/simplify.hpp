@@ -4,7 +4,7 @@
 #include <optional>
 #include <vector>
 
-#include "common/budget.hpp"
+#include "common/run_context.hpp"
 #include "network/network.hpp"
 #include "sim/simulation.hpp"
 #include "sop/sop.hpp"
@@ -42,13 +42,13 @@ struct SimplifyOutcome {
 /// the quantified window vanishes, when its level exceeds the budget, or
 /// when it covers none of the SPCF patterns reaching this node.
 ///
-/// When `cost` is given, one decomposition attempt is charged per call
-/// (accepted or not — rejections cost the same analysis), the unit the
-/// deterministic work budget meters (common/budget.hpp).
+/// When `ctx.cost` is attached, one decomposition attempt is charged per
+/// call (accepted or not — rejections cost the same analysis), the unit
+/// the deterministic work budget meters (common/budget.hpp).
 std::optional<SimplifyOutcome> simplify_node(const Network& net, std::uint32_t node,
                                              const std::vector<int>& levels,
                                              const std::vector<Signature>& sigs,
                                              const Signature& spcf, int window_budget,
-                                             WorkCost* cost = nullptr);
+                                             const RunContext& ctx = RunContext{});
 
 }  // namespace lls

@@ -352,6 +352,151 @@ TEST(Engine, BudgetSemantics) {
 }
 
 // ---------------------------------------------------------------------------
+// Intra-cone SAT fan-out (third scheduling level)
+
+/// One engine run configured to exercise the SAT don't-care proofs of
+/// secondary simplification (the intra-cone fan-out's workload): forcing
+/// random patterns makes every cone's simulation non-exhaustive, so the
+/// unreached candidate minterms go to per-cube SAT queries instead of
+/// being read off an exhaustive truth table. Caches are cleared first —
+/// every run is cold unless the caller re-runs itself.
+BudgetedResult run_intra_cone(const Aig& input, int jobs, bool intra_cone,
+                              std::uint64_t work_budget = 0) {
+    clear_engine_caches();
+    LookaheadParams params;
+    params.max_iterations = 4;
+    params.force_random_patterns = true;
+    params.work_budget = work_budget;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    engine.intra_cone = intra_cone;
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(input, params, engine, &stats);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_FALSE(stats.wall_clock_interrupted);
+    EXPECT_TRUE(check_equivalence(input, out, 2000000).equivalent);
+    std::stringstream aag;
+    write_aiger(aag, out);
+    return {aag.str(), stats.work_units, stats.budget_exhausted};
+}
+
+TEST(Engine, IntraConeIsByteIdenticalAcrossJobsAndModes) {
+    // The intra-cone fan-out is an execution knob: per-cube proof tasks
+    // run on pool workers, but verdicts commit and conflicts charge in
+    // fixed task order after the join, so serialized output AND work spend
+    // must match the serial path byte for byte at every jobs value.
+    const Aig rca = ripple_carry_adder(8);
+    const BudgetedResult baseline = run_intra_cone(rca, 1, /*intra_cone=*/false);
+    for (const int jobs : {1, 2, 4}) {
+        for (const bool intra : {false, true}) {
+            const BudgetedResult r = run_intra_cone(rca, jobs, intra);
+            EXPECT_EQ(r.aiger, baseline.aiger) << "jobs=" << jobs << " intra=" << intra;
+            EXPECT_EQ(r.work_units, baseline.work_units)
+                << "jobs=" << jobs << " intra=" << intra;
+        }
+    }
+}
+
+TEST(Engine, IntraConeBudgetedRunsAreInvariantAcrossModesAndCacheStates) {
+    // Budgeted trajectories must be unperturbed by the fan-out: the join
+    // charges conflicts in task index order, so exhaustion fires after the
+    // same round regardless of jobs x intra-cone x cold/warm cache.
+    const Aig rca = ripple_carry_adder(8);
+    for (const std::uint64_t budget : {std::uint64_t{80}, std::uint64_t{1} << 62}) {
+        const BudgetedResult baseline = run_intra_cone(rca, 1, /*intra_cone=*/false, budget);
+        for (const int jobs : {2, 4}) {
+            const BudgetedResult r = run_intra_cone(rca, jobs, /*intra_cone=*/true, budget);
+            EXPECT_EQ(r.aiger, baseline.aiger) << "budget=" << budget << " jobs=" << jobs;
+            EXPECT_EQ(r.work_units, baseline.work_units)
+                << "budget=" << budget << " jobs=" << jobs;
+            EXPECT_EQ(r.budget_exhausted, baseline.budget_exhausted)
+                << "budget=" << budget << " jobs=" << jobs;
+        }
+        // Warm-cache replay: run_intra_cone clears caches, so call the
+        // engine again directly on the now-populated memo.
+        LookaheadParams params;
+        params.max_iterations = 4;
+        params.force_random_patterns = true;
+        params.work_budget = budget;
+        EngineOptions engine;
+        engine.jobs = 4;
+        engine.intra_cone = true;
+        OptimizeStats stats;
+        const Aig warm = optimize_timing_engine(rca, params, engine, &stats);
+        std::stringstream aag;
+        write_aiger(aag, warm);
+        EXPECT_EQ(aag.str(), baseline.aiger) << "warm budget=" << budget;
+        EXPECT_EQ(stats.work_units, baseline.work_units) << "warm budget=" << budget;
+    }
+}
+
+TEST(Engine, IntraConeMetricsCountQueriesAndParallelBatches) {
+    Metrics& metrics = Metrics::global();
+    const std::uint64_t queries_before = metrics.counter("engine.intracone.queries").value();
+    const std::uint64_t batches_before =
+        metrics.counter("engine.intracone.parallel_batches").value();
+    run_intra_cone(ripple_carry_adder(8), 4, /*intra_cone=*/true);
+    // The forced-random-pattern run must have sent don't-care candidates
+    // to SAT; with workers available, multi-task batches fan out.
+    EXPECT_GT(metrics.counter("engine.intracone.queries").value(), queries_before);
+    EXPECT_GT(metrics.counter("engine.intracone.parallel_batches").value(), batches_before);
+
+    // With the fan-out disabled the serial loop answers the same queries
+    // but never dispatches a parallel batch.
+    const std::uint64_t batches_mid =
+        metrics.counter("engine.intracone.parallel_batches").value();
+    run_intra_cone(ripple_carry_adder(8), 4, /*intra_cone=*/false);
+    EXPECT_EQ(metrics.counter("engine.intracone.parallel_batches").value(), batches_mid);
+}
+
+TEST(Engine, IntraConeStressConcurrentFanoutsThroughSharedPool) {
+    // Many simultaneous intra-cone fan-outs through one shared batch pool —
+    // the three-level schedule TSan runs race-check: batch items x cone
+    // rounds x per-cube proof tasks all drain the same queue, and every
+    // proof task re-installs its cancellation scope on whichever worker
+    // picks it up. Outputs must still match the fully serial baseline.
+    std::vector<BatchItem> items;
+    items.push_back({"rca7", ripple_carry_adder(7)});
+    items.push_back({"rca8", ripple_carry_adder(8)});
+    for (int s = 0; s < 3; ++s) {
+        BenchmarkProfile profile;
+        profile.name = "intracone_stress";
+        profile.num_pis = 14;
+        profile.num_pos = 6;
+        profile.chain_length = 8;
+        profile.num_shared = 3;
+        profile.seed = 31 + s;
+        items.push_back({"ctrl" + std::to_string(s), synthetic_control_circuit(profile)});
+    }
+    LookaheadParams params;
+    params.max_iterations = 3;
+    params.force_random_patterns = true;
+
+    auto batch_bytes = [&](int jobs, bool steal, bool intra) {
+        clear_engine_caches();
+        EngineOptions engine;
+        engine.jobs = jobs;
+        engine.steal = steal;
+        engine.intra_cone = intra;
+        const auto outcomes = optimize_timing_batch(items, params, engine);
+        std::vector<std::string> aigers;
+        for (const auto& outcome : outcomes) {
+            EXPECT_FALSE(outcome.failed) << outcome.name;
+            std::stringstream aag;
+            write_aiger(aag, outcome.output);
+            aigers.push_back(aag.str());
+        }
+        return aigers;
+    };
+
+    const auto baseline = batch_bytes(1, /*steal=*/false, /*intra=*/false);
+    ASSERT_EQ(baseline.size(), items.size());
+    EXPECT_EQ(batch_bytes(4, /*steal=*/true, /*intra=*/true), baseline);
+    EXPECT_EQ(batch_bytes(4, /*steal=*/false, /*intra=*/true), baseline);
+    EXPECT_EQ(batch_bytes(2, /*steal=*/true, /*intra=*/true), baseline);
+}
+
+// ---------------------------------------------------------------------------
 // Fault containment & recovery (PR 3)
 
 TEST(FaultPlan, GrammarRoundtrip) {

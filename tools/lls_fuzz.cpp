@@ -219,9 +219,16 @@ bool run_deadline_iteration(std::uint64_t seed) {
         params.seed = seed;
         // 1us .. ~2ms: tight enough that cones regularly outlive it.
         params.cone_deadline_seconds = static_cast<double>(1 + rng.next_below(2000)) * 1e-6;
+        // Randomize the execution knobs the deadline interacts with: the
+        // intra-cone fan-out moves the cancellation polls onto pool workers
+        // (each proof task re-installs the deadline scope), and extra jobs
+        // let the watchdog fire concurrently in several cones. Neither may
+        // change what containment guarantees hold.
+        lls::EngineOptions engine;
+        engine.intra_cone = rng.next_bool();
+        engine.jobs = 1 + static_cast<int>(rng.next_below(4));
         lls::OptimizeStats stats;
-        const lls::Aig optimized =
-            lls::optimize_timing_engine(circuit, params, lls::EngineOptions{}, &stats);
+        const lls::Aig optimized = lls::optimize_timing_engine(circuit, params, engine, &stats);
 
         if (!check(verify("deadline lookahead", seed, circuit, optimized))) return false;
         for (const auto& f : stats.faults) {

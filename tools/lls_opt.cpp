@@ -12,6 +12,10 @@
 //                                 fan-out of still-running circuits (default
 //                                 on; off = each circuit strictly serial on
 //                                 one worker); outputs byte-identical either way
+//   --intra-cone on|off           fan the per-cube SAT don't-care proofs inside
+//                                 one cone across the worker pool (the third
+//                                 scheduling level; default on); outputs and
+//                                 budget spend byte-identical either way
 //   --shared-bdd on|off           share one concurrency-safe BDD manager across
 //                                 the run's workers (default on; off = private
 //                                 per-call managers, the pre-refactor behavior)
@@ -122,7 +126,8 @@ void install_signal_handlers() {
 void print_usage(std::FILE* out, const char* argv0) {
     std::fprintf(out,
                  "usage: %s [--flow sis|abc|dc|lookahead] [--iterations N] [--jobs N|auto]\n"
-                 "          [--steal on|off] [--shared-bdd on|off] [--work-budget N]\n"
+                 "          [--steal on|off] [--intra-cone on|off] [--shared-bdd on|off]\n"
+                 "          [--work-budget N]\n"
                  "          [--cone-deadline DUR] [--time-budget DUR]\n"
                  "          [--fault-inject SPEC]\n"
                  "          [--cache-dir DIR] [--cache-mode read|write|rw|off]\n"
@@ -204,7 +209,7 @@ int main(int argc, char** argv) {
     std::uint64_t work_budget = 0;
     double cone_deadline = 0.0, time_budget = 0.0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
-    bool batch = false, resume = false, shared_bdd = true, steal = true;
+    bool batch = false, resume = false, shared_bdd = true, steal = true, intra_cone = true;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -225,6 +230,17 @@ int main(int argc, char** argv) {
                 steal = false;
             } else {
                 std::fprintf(stderr, "error: --steal expects on|off, got '%s'\n", value.c_str());
+                return usage(argv[0]);
+            }
+        } else if (arg == "--intra-cone" && i + 1 < argc) {
+            const std::string value = argv[++i];
+            if (value == "on") {
+                intra_cone = true;
+            } else if (value == "off") {
+                intra_cone = false;
+            } else {
+                std::fprintf(stderr, "error: --intra-cone expects on|off, got '%s'\n",
+                             value.c_str());
                 return usage(argv[0]);
             }
         } else if (arg == "--shared-bdd" && i + 1 < argc) {
@@ -302,6 +318,7 @@ int main(int argc, char** argv) {
     engine.jobs = jobs;
     engine.shared_bdd = shared_bdd;
     engine.steal = steal;
+    engine.intra_cone = intra_cone;
 
     // From here on a SIGTERM/SIGINT requests graceful shutdown through the
     // engine's cancellation token instead of killing the process mid-write.

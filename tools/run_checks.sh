@@ -4,7 +4,10 @@
 # --jobs values must produce byte-identical outputs), a shared-BDD-manager
 # identity check (shared and private managers must produce the same bytes
 # at every --jobs value), a batch steal-invariance check (outputs
-# byte-identical across --jobs 1/2/4 x --steal on/off), fault-injection
+# byte-identical across --jobs 1/2/4 x --steal on/off), an intra-cone
+# fan-out invariance check (outputs byte-identical across --jobs 1/2/4 x
+# --intra-cone on/off, budgeted and warm-cache variants included),
+# fault-injection
 # and checkpoint/resume checks of the containment subsystem (including a
 # steal-enabled crash/resume cycle), persistent-memo-store checks (warm
 # runs byte-identical to cold across --jobs, corrupted stores degrade to
@@ -86,6 +89,45 @@ for j in 1 2 4; do
     done
 done
 echo "batch outputs identical across --jobs 1/2/4 x --steal on/off"
+
+echo "== stage 2d: intra-cone fan-out is jobs-, mode-, and cache-invariant =="
+# The third scheduling level (per-cube SAT don't-care proofs fanned across
+# the pool) is an execution knob: batch outputs and budgeted single runs
+# must be byte-identical across --jobs 1/2/4 x --intra-cone on/off, and a
+# warm persistent-store replay must reproduce the cold bytes under every
+# combination too.
+for j in 1 2 4; do
+    for m in on off; do
+        ./build/tools/lls_opt --batch --jobs "$j" --intra-cone "$m" --iterations 6 \
+            --out-dir "$WORKDIR/ic.j$j.$m" \
+            tests/data/rca16.blif tests/data/control24.blif > /dev/null
+        ./build/tools/lls_opt --work-budget 200 --jobs "$j" --intra-cone "$m" \
+            --iterations 6 tests/data/rca16.blif "$WORKDIR/ic.budget.j$j.$m.blif" > /dev/null
+    done
+done
+for j in 1 2 4; do
+    for m in on off; do
+        for name in rca16 control24; do
+            cmp "$WORKDIR/ic.j1.off/$name.blif" "$WORKDIR/ic.j$j.$m/$name.blif"
+        done
+        cmp "$WORKDIR/ic.budget.j1.off.blif" "$WORKDIR/ic.budget.j$j.$m.blif"
+    done
+done
+# Warm-cache variant: populate the persistent store cold, then replay it
+# read-only at several --jobs x --intra-cone combinations.
+ICCACHE="$WORKDIR/intracone_cache"
+./build/tools/lls_opt --cache-dir "$ICCACHE" --jobs 1 --intra-cone off --iterations 6 \
+    --aiger "$WORKDIR/ic.cold.aag" \
+    tests/data/rca16.blif "$WORKDIR/ic.cold.blif" > /dev/null
+for j in 1 4; do
+    for m in on off; do
+        ./build/tools/lls_opt --cache-dir "$ICCACHE" --cache-mode read --jobs "$j" \
+            --intra-cone "$m" --iterations 6 --aiger "$WORKDIR/ic.warm.j$j.$m.aag" \
+            tests/data/rca16.blif "$WORKDIR/ic.warm.j$j.$m.blif" > /dev/null
+        cmp "$WORKDIR/ic.cold.aag" "$WORKDIR/ic.warm.j$j.$m.aag"
+    done
+done
+echo "intra-cone outputs identical across --jobs 1/2/4 x on/off, budgeted + warm cache"
 
 echo "== stage 3: fault injection never aborts and stays jobs-invariant =="
 # Every engine site class, injected on the regression circuits: the run must
@@ -236,6 +278,8 @@ if [[ "$SKIP_TSAN" == 1 ]]; then
 fi
 
 echo "== stage 5: engine + cancel + shared-BDD + persist tests under ThreadSanitizer =="
+# test_engine includes the intra-cone stress test: many concurrent per-cube
+# SAT fan-outs from multiple batch items draining one shared pool.
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" \
     --target test_thread_pool test_engine test_parse test_cancel test_io \
