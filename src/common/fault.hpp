@@ -5,7 +5,7 @@
 // A FaultPlan is parsed from the spec grammar `kind@site[:count]`
 // (comma-separated for several specs):
 //
-//   kind  := parse | resource | solver | verify | invariant | io | cancel | fatal
+//   kind  := parse | resource | solver | verify | invariant | io | cancel | oom | fatal
 //   site  := decompose | spcf | sat | cec | ...   (engine sites)
 //            batch                                (CLI-level fatal site)
 //   count := how many retry-ladder rungs the fault poisons (default 1);
@@ -28,6 +28,7 @@
 // point, in deterministic task order.
 
 #include <cstdint>
+#include <new>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +53,10 @@ struct FaultRecord {
 struct FaultSpec {
     ErrorKind kind = ErrorKind::ResourceExhausted;
     bool fatal = false;  ///< `fatal@...`: process-kill fault, handled by the CLI only
+    /// `oom@...`: fires a raw std::bad_alloc instead of an LlsError, so the
+    /// whole bad_alloc -> error_kind_of -> ResourceExhausted containment
+    /// path is exercised — deterministically, like every other kind.
+    bool bad_alloc = false;
     std::string site;
     int count = 1;
 };
@@ -100,6 +105,13 @@ public:
         return ErrorKind::ResourceExhausted;
     }
 
+    /// First non-fatal spec for `site`, or nullptr.
+    const FaultSpec* spec_for(std::string_view site) const {
+        for (const auto& s : specs_)
+            if (!s.fatal && s.site == site) return &s;
+        return nullptr;
+    }
+
     /// Threshold of the CLI-level `fatal@site:count` spec, 0 when absent.
     int fatal_count_for(std::string_view site) const {
         for (const auto& s : specs_)
@@ -114,7 +126,7 @@ public:
         for (const auto& s : specs_) {
             if (s.fatal) continue;
             if (!out.empty()) out += ',';
-            out += error_kind_name(s.kind);
+            out += s.bad_alloc ? "oom" : error_kind_name(s.kind);
             out += '@';
             out += s.site;
             out += ':' + std::to_string(s.count);
@@ -138,7 +150,9 @@ public:
         };
         for (const auto& s : specs_) {
             if (s.fatal) continue;
-            mix(error_kind_name(s.kind));
+            // `oom` and `resource` share an ErrorKind but are different
+            // injections (bad_alloc vs. LlsError), so they must not collide.
+            mix(s.bad_alloc ? "oom" : error_kind_name(s.kind));
             mix(s.site);
             mix(std::to_string(s.count));
         }
@@ -163,6 +177,10 @@ private:
         // canonical engine_spec() form re-parses (the CLI round-trips plans
         // through it before they reach the engine).
         else if (kind == "cancel" || kind == "cancelled") spec.kind = ErrorKind::Cancelled;
+        else if (kind == "oom") {
+            spec.kind = ErrorKind::ResourceExhausted;
+            spec.bad_alloc = true;
+        }
         else if (kind == "fatal") spec.fatal = true;
         else
             throw LlsError(ErrorKind::ParseError, "unknown fault kind '" + kind + "'",
@@ -204,12 +222,15 @@ class FaultContext {
 public:
     FaultContext(const FaultPlan* plan, int rung) : plan_(plan), rung_(rung) {}
 
-    /// Fires the planned fault for `site`, if any, as LlsError at `stage`.
+    /// Fires the planned fault for `site`, if any, as LlsError at `stage`
+    /// — or as a raw std::bad_alloc for `oom` specs, exactly what a real
+    /// allocation failure at the site would look like.
     void check(std::string_view site, std::string_view stage) const {
         if (!plan_) return;
-        const int count = plan_->count_for(site);
-        if (count <= 0 || rung_ >= count) return;
-        throw LlsError(plan_->kind_for(site),
+        const FaultSpec* spec = plan_->spec_for(site);
+        if (spec == nullptr || rung_ >= spec->count) return;
+        if (spec->bad_alloc) throw std::bad_alloc();
+        throw LlsError(spec->kind,
                        "injected fault at site '" + std::string(site) + "' (rung " +
                            std::to_string(rung_) + ")",
                        std::string(stage));

@@ -19,6 +19,7 @@
 #include "common/budget.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/memgov.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/memo.hpp"
@@ -65,8 +66,46 @@ std::uint64_t params_fingerprint(const LookaheadParams& p) {
     // must change the memo key; an empty plan adds nothing, keeping every
     // fault-free fingerprint (and so every RNG stream) exactly as before.
     if (!p.fault_plan.empty()) h = hash_mix(h, FaultPlan::parse(p.fault_plan).fingerprint());
+    // The per-cone memory quota is deterministic and result-changing (a
+    // quota-degraded cone keeps its original structure), so it keys the
+    // memo; zero adds nothing, like the empty fault plan. The wall rails
+    // (time budget, cone deadline, --mem-budget) stay excluded.
+    if (p.cone_mem_bytes != 0) h = hash_mix(h, p.cone_mem_bytes);
     return h;
 }
+
+/// Raises the engine.mem.* counters to the governor's cumulative totals.
+/// Idempotent ("sync up to total"), serialized so concurrent batch items
+/// cannot double-add one delta — safe however many runs share a governor.
+void sync_governor_metrics(Metrics& metrics, const MemoryGovernor& governor) {
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto sync = [&metrics](const char* name, std::uint64_t total) {
+        MetricCounter& counter = metrics.counter(name);
+        const std::uint64_t seen = counter.value();
+        if (total > seen) counter.add(total - seen);
+    };
+    sync("engine.mem.charged_bytes", governor.charged_total());
+    sync("engine.mem.shed_events", governor.shed_events());
+    sync("engine.mem.admission_holds", governor.admission_holds());
+}
+
+/// RAII ticket on the governor's batch admission gate; a null governor
+/// degrades to a no-op so the batch loop stays unconditional.
+class AdmissionGuard {
+public:
+    explicit AdmissionGuard(MemoryGovernor* governor) : governor_(governor) {
+        if (governor_ != nullptr) governor_->admission_acquire();
+    }
+    ~AdmissionGuard() {
+        if (governor_ != nullptr) governor_->admission_release();
+    }
+    AdmissionGuard(const AdmissionGuard&) = delete;
+    AdmissionGuard& operator=(const AdmissionGuard&) = delete;
+
+private:
+    MemoryGovernor* governor_;
+};
 
 /// Equivalence check with the structural-hash verdict memo in front. Only
 /// resolved verdicts are stored; a memo hit returns no counterexample
@@ -99,8 +138,31 @@ CecResult check_equivalence_memo(const Aig& a, const Aig& b, std::int64_t confli
 }  // namespace
 
 DecomposeMemo& decompose_memo() {
-    static DecomposeMemo instance("decompose_memo", /*max_entries_per_shard=*/2048);
+    static DecomposeMemo instance(
+        "decompose_memo", /*max_entries_per_shard=*/2048,
+        [](const std::pair<std::uint64_t, std::uint64_t>&, const ConeEvaluation& e) {
+            std::size_t bytes = sizeof(ConeEvaluation) + DecomposeMemo::kEntryOverheadBytes;
+            if (e.outcome)
+                bytes += sizeof(DecomposeOutcome) +
+                         e.outcome->aig.num_nodes() * memcost::kAigNodeBytes +
+                         e.outcome->reconstruction.capacity();
+            for (const auto& f : e.faults)
+                bytes += sizeof(FaultRecord) + f.stage.capacity() + f.detail.capacity() +
+                         f.cone_name.capacity();
+            return bytes;
+        });
     return instance;
+}
+
+void register_memo_governance(MemoryGovernor& governor) {
+    governor.add_gauge([] { return decompose_memo().bytes(); });
+    governor.add_gauge([] { return cec_memo().bytes(); });
+    governor.add_gauge([] { return npn_memo().bytes(); });
+    governor.add_gauge([] { return exact_structure_memo().bytes(); });
+    governor.add_shed_hook([] { return decompose_memo().shed_half(); });
+    governor.add_shed_hook([] { return cec_memo().shed_half(); });
+    governor.add_shed_hook([] { return npn_memo().shed_half(); });
+    governor.add_shed_hook([] { return exact_structure_memo().shed_half(); });
 }
 
 Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
@@ -128,6 +190,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     MetricCounter& fault_records = metrics.counter("engine.fault.records");
     MetricCounter& fault_recovered = metrics.counter("engine.fault.recovered");
     MetricCounter& fault_degraded = metrics.counter("engine.fault.degraded");
+    MetricCounter& quota_degrades = metrics.counter("engine.mem.quota_degrades");
     MetricCounter& deadline_cancels = metrics.counter("engine.cancel.deadline_cancelled");
     MetricCounter& shutdown_stops = metrics.counter("engine.cancel.shutdowns");
     const ScopedTimer total_scope(total_timer);
@@ -146,6 +209,11 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     MetricCounter& steal_stolen = metrics.counter("engine.steal.stolen_indices");
     // A malformed plan is an entry error, raised before any work starts.
     const FaultPlan fault_plan = FaultPlan::parse(params.fault_plan);
+    // Run-entry fault site: `oom@run` (or any kind at site "run") fires
+    // here, before any per-cone work — in batch mode the exception crosses
+    // the item boundary, proving a run-level allocation failure degrades
+    // that item to `failed` without tearing down its siblings.
+    FaultContext(&fault_plan, /*rung=*/0).check("run", "engine");
     const std::uint64_t fingerprint = params_fingerprint(params);
 
     // Master RNG for the *serial* stages (SAT sweeping). Candidate
@@ -176,6 +244,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
             own_shared_bdd = std::make_shared<BddManager>(static_cast<int>(original.num_pis()),
                                                           /*node_limit=*/std::size_t{1} << 22);
             shared_bdd = own_shared_bdd.get();
+            // A run-private shared manager reports its arena to the Tier-2
+            // rail (an externally owned one was bound by its owner — the
+            // batch driver or the CLI — binding it again would double-count).
+            if (engine.governor != nullptr) own_shared_bdd->bind_governor(engine.governor);
         }
     }
 
@@ -205,6 +277,9 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
         ctx.cost = &cost;
         ctx.cancel = engine.cancel;
         ctx.metrics = &metrics;
+        // Serial-stage solvers report arena bytes to the Tier-2 rail but
+        // never carry a Tier-1 quota — serial work is uncharged by design.
+        ctx.governor = engine.governor;
         return ctx;
     };
     auto wall_clock_expired = [&]() {
@@ -279,6 +354,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     rung_params.sat_conflict_limit =
                         std::max<std::int64_t>(params.sat_conflict_limit, 1) * 16;
                 const FaultContext fault_context(&fault_plan, rung);
+                // Tier-1 quota, fresh per rung: every rung starts from zero
+                // so the charge stream — and the exact point an exhaustion
+                // fires — is a pure function of (cone, params, rung).
+                MemoryQuota quota(params.cone_mem_bytes);
                 // The one plumbing path down the decompose -> reduce ->
                 // simplify -> cec -> sat stack: deterministic cost sink,
                 // fault rung, cancellation sources (mirroring the
@@ -295,6 +374,8 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                 ctx.metrics = &metrics;
                 ctx.executor = pool.size() > 0 ? &pool : nullptr;
                 ctx.intra_cone = engine.intra_cone;
+                if (params.cone_mem_bytes != 0) ctx.mem_quota = &quota;
+                ctx.governor = engine.governor;
                 Rng cone_rng(hash_mix(fingerprint, cone_hash));
                 try {
                     if (auto outcome = decompose_output(cone, rung_params, cone_rng, ctx))
@@ -312,10 +393,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     // memoized for this cone — `--resume` re-evaluates it
                     // from scratch, byte-identically.
                     if (kind == ErrorKind::Cancelled && shutdown_requested()) throw;
+                    const auto* lls_error = dynamic_cast<const LlsError*>(&e);
                     if (!faulted) {
                         faulted = true;
                         record.kind = kind;
-                        const auto* lls_error = dynamic_cast<const LlsError*>(&e);
                         record.stage = lls_error && !lls_error->stage().empty()
                                            ? lls_error->stage()
                                            : "evaluate";
@@ -333,6 +414,13 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                         evaluation.timing_dependent = true;
                         break;
                     }
+                    // Tier-1 quota exhaustion also ends the ladder — the
+                    // escalated rungs only *grow* the footprint, so under
+                    // the same per-rung quota they deterministically
+                    // re-fail. Unlike a deadline this is a pure function of
+                    // (cone, params): the evaluation memoizes, and the cone
+                    // can never be reported as recovered.
+                    if (lls_error != nullptr && lls_error->stage() == kMemgovStage) break;
                 }
             }
             if (faulted) evaluation.faults.push_back(std::move(record));
@@ -465,6 +553,10 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
                     if (record.kind == ErrorKind::Cancelled) {
                         ++local.deadline_cancelled;
                         deadline_cancels.add();
+                    }
+                    if (record.stage == kMemgovStage && !record.recovered) {
+                        ++local.quota_degraded;
+                        quota_degrades.add();
                     }
                     local.faults.push_back(std::move(record));
                 }
@@ -671,6 +763,7 @@ Aig optimize_timing_engine(const Aig& input, const LookaheadParams& params,
     // by the batch as engine.steal.idle_wait instead.
     if (own_pool && engine.intra_cone && own_pool->size() > 0)
         metrics.timer("engine.intracone.idle_wait").add_nanos(own_pool->idle_wait_nanos());
+    if (engine.governor != nullptr) sync_governor_metrics(metrics, *engine.governor);
     if (stats) *stats = local;
     return best;
 }
@@ -711,6 +804,10 @@ std::vector<BatchOutcome> optimize_timing_batch(
         if (max_pis < (std::size_t{1} << 20))
             batch_bdd.emplace(static_cast<int>(max_pis), /*node_limit=*/std::size_t{1} << 22);
     }
+    // The batch owns the shared manager, so the batch binds it to the rail
+    // (per-item engines skip externally owned managers to avoid
+    // double-counting).
+    if (batch_bdd && engine.governor != nullptr) batch_bdd->bind_governor(engine.governor);
     EngineOptions per_item = engine;
     per_item.jobs = 1;  // item-level parallelism still dominates a full batch
     per_item.shared_pool = steal ? &pool : nullptr;
@@ -737,6 +834,14 @@ std::vector<BatchOutcome> optimize_timing_batch(
             }
             return;
         }
+        // Tier-2 admission control: while the governor's post-shedding
+        // high-water hold is up and other items are in flight, this item
+        // waits here instead of adding its footprint — the batch finishes
+        // what it started and serializes new dispatch until usage falls
+        // below the rail (or everything in flight has drained, which
+        // guarantees progress). Purely a *when*, never a *what*: the item
+        // computes the same bytes however long it waited.
+        const AdmissionGuard admission(engine.governor);
         // Item-level fault boundary: one failing circuit must not abort the
         // other 99. The failed item degrades to its unmodified input — the
         // same keep-original rule the per-cone boundary applies — and is
@@ -778,6 +883,7 @@ std::vector<BatchOutcome> optimize_timing_batch(
     if (steal) Metrics::global().timer("engine.steal.idle_wait").add_nanos(pool.idle_wait_nanos());
     if (pool.aborted_indices() > 0)
         Metrics::global().counter("engine.pool.aborted_indices").add(pool.aborted_indices());
+    if (engine.governor != nullptr) sync_governor_metrics(Metrics::global(), *engine.governor);
     return outcomes;
 }
 

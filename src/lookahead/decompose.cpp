@@ -13,6 +13,7 @@
 #include "common/bitops.hpp"
 #include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/memgov.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/metrics.hpp"
 #include "lookahead/reduce.hpp"
@@ -62,6 +63,7 @@ struct DcProofTask {
     std::vector<std::uint32_t> queries;   ///< minterms still needing a SAT proof
     std::vector<char> verdicts;           ///< parallel to `queries`; 1 = proven unreachable
     std::uint64_t conflicts = 0;          ///< this task's solver conflicts
+    std::uint64_t mem_bytes = 0;          ///< this task's quota-counted bytes
     std::exception_ptr error;             ///< contained failure, rethrown at the join
 };
 
@@ -84,6 +86,12 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
         exhaustive ? SimPatterns::exhaustive(cone.num_pis())
                    : SimPatterns::random(cone.num_pis(), params.num_random_patterns, rng);
     const auto aig_sigs = simulate(cone, patterns);
+    // Tier-1 charge site: simulation signatures, priced by their counted
+    // word footprint — a pure function of (cone, params), like every charge
+    // below, so the quota trips at the same point on every schedule.
+    ctx.charge_memory(aig_sigs.size() *
+                      (aig_sigs.empty() ? 0 : aig_sigs.front().size()) *
+                      memcost::kSignatureWordBytes);
     const Spcf spcf = compute_spcf(cone, patterns, aig_sigs, /*delta=*/0);
     const std::int32_t delta = std::max<std::int32_t>(1, spcf.max_arrival - params.spcf_slack);
     const Spcf spcf_at_delta = delta == spcf.delta
@@ -96,6 +104,12 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     // --- 2. cluster into a technology-independent network -------------------
     Network net = Network::from_aig(cone, params.cut_size, params.max_cuts);
     std::vector<Signature> sigs = net.simulate(patterns);
+    // Charge site: the clustered network plus its per-node signatures.
+    const std::uint64_t sig_words =
+        sigs.empty() ? 0 : static_cast<std::uint64_t>(sigs.front().size());
+    const std::uint64_t net_node_bytes =
+        memcost::kNetworkNodeBytes + sig_words * memcost::kSignatureWordBytes;
+    ctx.charge_memory(net.num_nodes() * net_node_bytes);
     const std::uint32_t y_orig = net.po(0).node;
     if (!net.is_internal(y_orig)) return std::nullopt;
 
@@ -113,6 +127,8 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     const std::size_t size_before_primary = net.num_nodes();
     const std::uint32_t y0_root = net.duplicate_cone(y_orig, &primary_map);
     extend_sigs_for_copies(primary_map, size_before_primary);
+    // Charge site: the primary duplicate's node growth.
+    ctx.charge_memory((net.num_nodes() - size_before_primary) * net_node_bytes);
 
     const ReduceResult reduced =
         reduce_cone(net, y0_root, sigs, patterns.num_patterns(), spcf_sig, ctx);
@@ -149,6 +165,9 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
     const std::size_t size_before_secondary = net.num_nodes();
     const std::uint32_t y1_root = net.duplicate_cone(y_orig, &secondary_map);
     extend_sigs_for_copies(secondary_map, size_before_secondary);
+    // Charge site: the secondary duplicate (window nodes built in between
+    // are part of this growth window, priced at the same per-node cost).
+    ctx.charge_memory((net.num_nodes() - size_before_secondary) * net_node_bytes);
 
     if (params.secondary_simplification) {
         ctx.check_fault("sat", "simplify");
@@ -158,7 +177,12 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
         const bool need_sat = !patterns.is_exhaustive();
         std::vector<AigLit> node_map;
         Aig snapshot;
-        if (need_sat) snapshot = net.to_aig_with_map(&node_map);
+        if (need_sat) {
+            snapshot = net.to_aig_with_map(&node_map);
+            // Charge site: the read-only AIG snapshot the proof tasks
+            // encode against.
+            ctx.charge_memory(snapshot.num_nodes() * memcost::kAigNodeBytes);
+        }
 
         // Phase A (serial): collect per-node don't-care candidates from the
         // sampled signatures. Node functions are untouched during this and
@@ -209,6 +233,18 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
         // the join below charges conflicts in task order up to the first
         // error — so the charge stream cannot depend on the schedule.
         if (need_sat && !proof_tasks.empty()) {
+            // Tier-1 headroom snapshot, taken at this serial point: each
+            // proof task charges a *task-local* quota bounded by the same
+            // snapshot (sharing the cone quota across threads would be a
+            // data race and make the trip point schedule-dependent). The
+            // join below merges the task byte counts into the cone quota in
+            // fixed task order — the same discipline as the conflict
+            // charges. An exhausted snapshot (0 headroom) clamps to 1 so
+            // any task allocation still trips deterministically.
+            const std::uint64_t task_quota_limit =
+                ctx.mem_quota == nullptr
+                    ? 0
+                    : std::max<std::uint64_t>(1, ctx.mem_quota->remaining());
             auto run_task = [&](std::size_t t) {
                 DcProofTask& task = proof_tasks[t];
                 // A pool worker may arrive here from any cone or batch
@@ -216,8 +252,11 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                 // thread-local polls inside the solver see the right
                 // deadline (nesting-safe: CancelScope saves/restores).
                 const CancelScope task_scope(ctx.cancel, ctx.deadline);
+                RunContext task_ctx = ctx;
+                MemoryQuota task_quota(task_quota_limit);
+                task_ctx.mem_quota = ctx.mem_quota != nullptr ? &task_quota : nullptr;
                 sat::Solver solver;
-                solver.bind_run_context(&ctx);
+                solver.bind_run_context(&task_ctx);
                 try {
                     std::vector<int> pi_vars(snapshot.num_pis());
                     for (auto& v : pi_vars) v = solver.new_var();
@@ -245,6 +284,7 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
                     task.error = std::current_exception();
                 }
                 task.conflicts = static_cast<std::uint64_t>(solver.num_conflicts());
+                task.mem_bytes = task_quota.charged();
             };
 
             ThreadPool* executor = ctx.intra_cone_executor();
@@ -268,6 +308,10 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
             for (DcProofTask& task : proof_tasks) {
                 cost.sat_conflicts += task.conflicts;
                 sat_queries += task.queries.size();
+                // Merge the task's counted bytes into the cone quota at
+                // this fixed-order point; an exhaustion raised here is the
+                // deterministic Tier-1 fault, identical on every schedule.
+                if (ctx.mem_quota != nullptr) ctx.mem_quota->charge(task.mem_bytes);
                 if (task.error) {
                     first_error = task.error;
                     break;
@@ -385,7 +429,12 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
         // of (cone, params) rather than of the thread schedule.
         bool equivalent = false;
         bool decided = false;
-        if (ctx.shared_bdd != nullptr &&
+        // Under a Tier-1 quota the shared manager is skipped outright: its
+        // node pool reflects what *other* cones and workers built, so
+        // charging this cone for growth observed there would be
+        // schedule-dependent. The quota-capped private manager below keeps
+        // the charge a pure function of (cone, params).
+        if (ctx.mem_quota == nullptr && ctx.shared_bdd != nullptr &&
             static_cast<int>(result.num_pis()) <= ctx.shared_bdd->num_vars()) {
             try {
                 equivalent = bdd_equivalent(result, cone, *ctx.shared_bdd);
@@ -393,6 +442,29 @@ std::optional<DecomposeOutcome> decompose_output_impl(const Aig& cone,
             } catch (const LlsError& e) {
                 if (e.kind() != ErrorKind::ResourceExhausted) throw;
                 metrics_of(ctx).counter("bdd.shared.exact_verify_fallbacks").add();
+            }
+        }
+        if (!decided && ctx.mem_quota != nullptr) {
+            // Private manager with a node cap derived from the quota
+            // headroom. When the quota is the binding constraint (not the
+            // configured BDD limit), running the manager dry *is* quota
+            // exhaustion — converted into the canonical memgov fault.
+            const std::uint64_t headroom = ctx.mem_quota->remaining();
+            const std::uint64_t quota_nodes = headroom / memcost::kBddNodeBytes;
+            const bool quota_capped = quota_nodes < ctx.exact_verify_bdd_limit;
+            const std::size_t node_cap = static_cast<std::size_t>(std::clamp<std::uint64_t>(
+                std::min<std::uint64_t>(ctx.exact_verify_bdd_limit, quota_nodes), 2,
+                std::uint64_t{1} << 22));
+            try {
+                BddManager priv(static_cast<int>(std::max(result.num_pis(), cone.num_pis())),
+                                node_cap);
+                equivalent = bdd_equivalent(result, cone, priv);
+                ctx.mem_quota->charge(priv.num_nodes() * memcost::kBddNodeBytes);
+                decided = true;
+            } catch (const LlsError& e) {
+                if (e.kind() == ErrorKind::ResourceExhausted && quota_capped)
+                    ctx.mem_quota->charge(headroom + 1);  // throws the memgov fault
+                throw;
             }
         }
         if (!decided) equivalent = bdd_equivalent(result, cone, ctx.exact_verify_bdd_limit);

@@ -35,6 +35,12 @@ struct OptimizeStats {
     /// cones (or none). Each cancelled cone also appears in `faults` as a
     /// FaultRecord{Cancelled}.
     int deadline_cancelled = 0;
+    /// Cones degraded to their original structure by the deterministic
+    /// per-cone memory quota (`params.cone_mem_bytes`). Unlike
+    /// `deadline_cancelled` this count is deterministic — a pure function
+    /// of (input, params) — and each degraded cone appears in `faults`
+    /// with stage "memgov" and `recovered = false`.
+    int quota_degraded = 0;
     /// A process/batch-level cancellation (CancelToken, e.g. SIGTERM) was
     /// requested during the run: the engine stopped at the next round
     /// boundary and returned the best verified circuit so far. Batch mode

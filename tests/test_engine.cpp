@@ -10,6 +10,7 @@
 #include "cec/cec.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/memgov.hpp"
 #include "engine/checkpoint.hpp"
 #include "engine/metrics.hpp"
 #include "io/blif.hpp"
@@ -971,6 +972,299 @@ TEST(Engine, MidBatchShutdownKeepsFinishedItemsByteIdentical) {
     }
     EXPECT_GE(completed, 1u);
     EXPECT_EQ(completed + cancelled, items.size());
+}
+
+// ---- memory governance (PR 10) -----------------------------------------
+
+TEST(MemoryQuota, ChargesDeterministicallyAndThrowsAtTheLimit) {
+    // Unlimited (limit 0): charges accumulate, nothing ever throws, and
+    // remaining() is the "no bound" sentinel.
+    MemoryQuota unlimited;
+    unlimited.charge(std::uint64_t{8} << 30);
+    EXPECT_EQ(unlimited.charged(), std::uint64_t{8} << 30);
+    EXPECT_EQ(unlimited.remaining(), ~std::uint64_t{0});
+
+    MemoryQuota quota(1000);
+    quota.charge(600);
+    EXPECT_EQ(quota.remaining(), 400u);
+    quota.charge(400);  // exactly at the limit: not over, no throw
+    EXPECT_EQ(quota.remaining(), 0u);
+    try {
+        quota.charge(1);
+        ADD_FAILURE() << "no throw past the limit";
+    } catch (const LlsError& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::ResourceExhausted);
+        EXPECT_EQ(e.stage(), kMemgovStage);
+    }
+    // The charge that tripped the quota is recorded before the throw, so
+    // the total stays an exact function of the charge stream.
+    EXPECT_EQ(quota.charged(), 1001u);
+    EXPECT_EQ(quota.remaining(), 0u);
+}
+
+TEST(MemoryGovernor, ShedsOncePerEpisodeAndGateSelfClears) {
+    // Budget 0: pure accounting — no relief, no admission hold, and the
+    // gate never blocks.
+    MemoryGovernor accountant(0);
+    accountant.charge(std::int64_t{8} << 20);
+    EXPECT_EQ(accountant.counted_bytes(), std::uint64_t{8} << 20);
+    EXPECT_EQ(accountant.charged_total(), std::uint64_t{8} << 20);
+    accountant.charge(-(std::int64_t{8} << 20));
+    EXPECT_EQ(accountant.counted_bytes(), 0u);
+    EXPECT_EQ(accountant.charged_total(), std::uint64_t{8} << 20);  // monotonic
+    EXPECT_EQ(accountant.shed_events(), 0u);
+    EXPECT_FALSE(accountant.admission_held());
+    accountant.admission_acquire();
+    accountant.admission_release();
+
+    // Armed rail: a gauge (stand-in for a memo cache) holds 4 MiB against a
+    // 1 MiB budget. Relief runs the shed hooks exactly once per growth
+    // episode, however many charges arrive while still over the rail.
+    const std::uint64_t budget = std::uint64_t{1} << 20;
+    MemoryGovernor governor(budget);
+    std::uint64_t cache_bytes = std::uint64_t{4} << 20;
+    int sheds = 0;
+    governor.add_gauge([&cache_bytes] { return cache_bytes; });
+    governor.add_shed_hook([&] {
+        cache_bytes /= 2;
+        ++sheds;
+    });
+    // Prime the gauge snapshot (the charge-path screen is allowed to trust
+    // a cached poll until counted traffic forces a refresh).
+    EXPECT_EQ(governor.current_bytes(), cache_bytes);
+    governor.charge(512);
+    EXPECT_EQ(sheds, 1);
+    EXPECT_EQ(governor.shed_events(), 1u);
+    EXPECT_EQ(governor.relief_epoch(), 1u);
+    EXPECT_EQ(cache_bytes, std::uint64_t{2} << 20);
+    // Still over the rail after shedding: the admission hold goes up, but a
+    // repeat charge in the same episode must NOT shed again (hysteresis —
+    // re-halving an already-shed cache frees nothing worth the eviction).
+    EXPECT_TRUE(governor.admission_held());
+    governor.charge(512);
+    EXPECT_EQ(sheds, 1);
+
+    // With nothing in flight the gate admits regardless of the hold: only
+    // finishing work can release memory, so blocking would deadlock.
+    governor.admission_acquire();
+    // Usage collapses below the rail; the second acquire's re-poll must
+    // observe that and clear the hold instead of waiting forever.
+    cache_bytes = 0;
+    governor.charge(-1024);
+    governor.admission_acquire();
+    EXPECT_FALSE(governor.admission_held());
+    governor.admission_release();
+    governor.admission_release();
+}
+
+TEST(Engine, ConeQuotaKeysTheMemoFingerprint) {
+    // A nonzero quota changes results (degraded cones keep their original
+    // structure), so it must key the memo; zero must add nothing, keeping
+    // every pre-PR-10 fingerprint — and so every RNG stream — intact.
+    LookaheadParams params;
+    params.max_iterations = 6;
+    const std::uint64_t clean = lookahead_params_fingerprint(params);
+    params.cone_mem_bytes = 0;
+    EXPECT_EQ(lookahead_params_fingerprint(params), clean);
+    params.cone_mem_bytes = std::uint64_t{4} << 20;
+    const std::uint64_t bounded = lookahead_params_fingerprint(params);
+    EXPECT_NE(bounded, clean);
+    params.cone_mem_bytes = std::uint64_t{8} << 20;
+    EXPECT_NE(lookahead_params_fingerprint(params), bounded);
+}
+
+OptimizeStats run_quota(const Aig& input, int jobs, bool intra_cone, std::uint64_t cone_mem,
+                        Aig* out_aig) {
+    LookaheadParams params;
+    params.max_iterations = 6;
+    params.cone_mem_bytes = cone_mem;
+    EngineOptions engine;
+    engine.jobs = jobs;
+    engine.intra_cone = intra_cone;
+    OptimizeStats stats;
+    *out_aig = optimize_timing_engine(input, params, engine, &stats);
+    return stats;
+}
+
+/// A quota tight enough to trip on the deeper cones of a small ripple
+/// adder but loose enough that the run still commits work elsewhere.
+constexpr std::uint64_t kTestConeQuota = std::uint64_t{24} << 10;
+
+TEST(Engine, ConeQuotaDegradesByteIdenticallyAcrossSchedules) {
+    // The Tier-1 charge stream is a pure function of (cone, params): which
+    // cones exhaust the quota — and the resulting output bytes and fault
+    // journal — must be identical across jobs, intra-cone fan-out, and
+    // cache state.
+    const Aig rca = ripple_carry_adder(7);
+    const std::uint64_t degrades_before =
+        Metrics::global().counter("engine.mem.quota_degrades").value();
+
+    auto fingerprint = [&](int jobs, bool intra, bool cold) {
+        if (cold) clear_engine_caches();
+        Aig out;
+        const OptimizeStats stats = run_quota(rca, jobs, intra, kTestConeQuota, &out);
+        EXPECT_TRUE(stats.verified);
+        EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent);
+        EXPECT_GT(stats.quota_degraded, 0);
+        int memgov_records = 0;
+        for (const FaultRecord& fault : stats.faults) {
+            if (fault.stage != kMemgovStage) continue;
+            ++memgov_records;
+            EXPECT_EQ(fault.kind, ErrorKind::ResourceExhausted);
+            // Exhaustion ends the retry ladder: escalated rungs only grow
+            // the footprint, so the cone degrades at the first rung and can
+            // never be reported recovered.
+            EXPECT_FALSE(fault.recovered);
+            EXPECT_TRUE(fault.retries.empty());
+        }
+        EXPECT_EQ(memgov_records, stats.quota_degraded);
+        std::stringstream aag;
+        write_aiger(aag, out);
+        std::string fp = aag.str();
+        for (const FaultRecord& fault : stats.faults)
+            fp += "|" + std::string(error_kind_name(fault.kind)) + "@" + fault.stage + "#" +
+                  std::to_string(fault.cone) + ":" + (fault.recovered ? "r" : "d");
+        return fp;
+    };
+
+    const std::string baseline = fingerprint(1, true, /*cold=*/true);
+    EXPECT_FALSE(baseline.empty());
+    for (const int jobs : {1, 2, 4})
+        for (const bool intra : {true, false})
+            EXPECT_EQ(fingerprint(jobs, intra, /*cold=*/true), baseline)
+                << "jobs=" << jobs << " intra=" << intra;
+    // Warm: quota degradation memoizes like any deterministic fault, so a
+    // cache hit must replay the same bytes and the same journal.
+    EXPECT_EQ(fingerprint(2, true, /*cold=*/false), baseline);
+    EXPECT_GT(Metrics::global().counter("engine.mem.quota_degrades").value(), degrades_before);
+    clear_engine_caches();  // drop the quota-keyed entries
+}
+
+TEST(Engine, InjectedOomIsContainedAndMapsToResourceExhausted) {
+    // `oom@...` throws a raw std::bad_alloc at the site — the containment
+    // path must classify it ResourceExhausted, recover through the retry
+    // ladder like any resource fault, and stay jobs-invariant.
+    const FaultPlan plan = FaultPlan::parse("oom@decompose:1");
+    EXPECT_EQ(FaultPlan::parse(plan.engine_spec()).engine_spec(), plan.engine_spec());
+    // Same ErrorKind, different injection: the fingerprints must not
+    // collide, or an oom plan could replay a resource plan's memo entries.
+    EXPECT_NE(plan.fingerprint(), FaultPlan::parse("resource@decompose:1").fingerprint());
+
+    const Aig rca = ripple_carry_adder(6);
+    auto fingerprint = [&](int jobs) {
+        Aig out;
+        const OptimizeStats stats = run_faulted(rca, "oom@decompose:1", jobs, &out);
+        EXPECT_TRUE(stats.verified);
+        EXPECT_TRUE(check_equivalence(rca, out, 2000000).equivalent);
+        EXPECT_FALSE(stats.faults.empty());
+        for (const FaultRecord& fault : stats.faults) {
+            EXPECT_EQ(fault.kind, ErrorKind::ResourceExhausted);
+            EXPECT_TRUE(fault.recovered);
+        }
+        std::stringstream aag;
+        write_aiger(aag, out);
+        return aag.str();
+    };
+    const std::string serial = fingerprint(1);
+    EXPECT_EQ(serial, fingerprint(2));
+    EXPECT_EQ(serial, fingerprint(4));
+}
+
+TEST(Engine, BatchRunLevelOomFailsItemsWithoutTearingDownTheBatch) {
+    // `oom@run` fires at run entry, before any per-cone boundary exists —
+    // the batch item boundary must degrade each item to its (cleaned)
+    // input, exactly like any other item-level failure.
+    std::vector<BatchItem> items;
+    items.push_back({"rca5", ripple_carry_adder(5)});
+    items.push_back({"rca6", ripple_carry_adder(6)});
+    LookaheadParams params;
+    params.max_iterations = 4;
+    params.fault_plan = "oom@run:1";
+    EngineOptions engine;
+    engine.jobs = 2;
+    const auto outcomes = optimize_timing_batch(items, params, engine);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_TRUE(outcomes[i].failed) << outcomes[i].name;
+        EXPECT_FALSE(outcomes[i].cancelled) << outcomes[i].name;
+        EXPECT_FALSE(outcomes[i].error.empty()) << outcomes[i].name;
+        EXPECT_FALSE(outcomes[i].stats.verified);
+        EXPECT_EQ(outcomes[i].output.hash(), items[i].input.cleanup().hash());
+    }
+}
+
+TEST(Engine, GovernedRunsMatchUngovernedByteForByte) {
+    // The Tier-2 rail is a wall rail: a budget small enough to force
+    // shedding mid-run may change *when* memo entries exist, but never what
+    // the run commits. Charged bytes must flow into the metrics registry.
+    const Aig rca = ripple_carry_adder(8);
+    clear_engine_caches();
+    const std::string baseline = run_aiger(rca, 2, /*shared_bdd=*/true);
+
+    clear_engine_caches();
+    const std::uint64_t charged_before =
+        Metrics::global().counter("engine.mem.charged_bytes").value();
+    MemoryGovernor governor(std::uint64_t{1} << 20);
+    register_memo_governance(governor);
+    LookaheadParams params;
+    params.max_iterations = 6;
+    EngineOptions engine;
+    engine.jobs = 2;
+    engine.shared_bdd = true;
+    engine.governor = &governor;
+    OptimizeStats stats;
+    const Aig out = optimize_timing_engine(rca, params, engine, &stats);
+    EXPECT_TRUE(stats.verified);
+    std::stringstream aag;
+    write_aiger(aag, out);
+    EXPECT_EQ(aag.str(), baseline);
+    // Solver arenas and the shared BDD manager pushed counted deltas.
+    EXPECT_GT(governor.charged_total(), 0u);
+    EXPECT_GT(Metrics::global().counter("engine.mem.charged_bytes").value(), charged_before);
+    // A 1 MiB budget is far below the run's working set, so at least one
+    // relief episode must have run.
+    EXPECT_GT(governor.shed_events(), 0u);
+    clear_engine_caches();  // leave no half-shed state behind
+}
+
+TEST(Engine, GovernedBatchCompletesAndMatchesUngoverned) {
+    // Admission control only delays dispatch (and with nothing in flight
+    // admits unconditionally), so a governed batch under a starvation-level
+    // budget must finish every item with the ungoverned bytes.
+    std::vector<BatchItem> items;
+    items.push_back({"rca5", ripple_carry_adder(5)});
+    items.push_back({"rca6", ripple_carry_adder(6)});
+    items.push_back({"rca7", ripple_carry_adder(7)});
+    LookaheadParams params;
+    params.max_iterations = 4;
+
+    auto aiger_of = [](const BatchOutcome& outcome) {
+        std::stringstream aag;
+        write_aiger(aag, outcome.output);
+        return aag.str();
+    };
+
+    clear_engine_caches();
+    EngineOptions plain;
+    plain.jobs = 2;
+    const auto ungoverned = optimize_timing_batch(items, params, plain);
+
+    clear_engine_caches();
+    MemoryGovernor governor(std::uint64_t{512} << 10);
+    register_memo_governance(governor);
+    EngineOptions engine;
+    engine.jobs = 2;
+    engine.governor = &governor;
+    const auto governed = optimize_timing_batch(items, params, engine);
+
+    ASSERT_EQ(governed.size(), items.size());
+    for (std::size_t i = 0; i < governed.size(); ++i) {
+        EXPECT_FALSE(governed[i].failed) << governed[i].name;
+        EXPECT_FALSE(governed[i].cancelled) << governed[i].name;
+        EXPECT_EQ(aiger_of(governed[i]), aiger_of(ungoverned[i])) << governed[i].name;
+    }
+    EXPECT_GT(governor.charged_total(), 0u);
+    clear_engine_caches();
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   lls_fuzz [iterations] [base_seed] [--fault-inject SPEC]
 //   lls_fuzz --mutate-store [iterations] [base_seed]
 //   lls_fuzz --deadline [iterations] [base_seed]
+//   lls_fuzz --mem-budget [iterations] [base_seed]
 //
 // Each iteration generates a random circuit (random shape, PI/PO counts and
 // operator mix), pushes it through every optimization flow plus mapping and
@@ -25,6 +26,15 @@
 // (cancelled cones degrade to original with a Cancelled FaultRecord), and
 // it round-trips through the writers as a well-formed AIG.
 //
+// --mem-budget exercises the memory governor (common/memgov.hpp): each
+// iteration runs the lookahead flow under a tight random per-cone byte
+// quota plus a small random global budget, at a random job count. Whatever
+// the quota trips must be contained deterministically: the run completes,
+// the result is equivalent to the input, a quota-degraded cone is *never*
+// reported as recovered (the memgov fault ends the retry ladder), the
+// quota'd result is byte-identical across job counts, and it round-trips
+// through the writers as a well-formed AIG.
+//
 // --mutate-store exercises the persistent memo store (src/persist/): each
 // iteration populates a cache directory from a cold run, proves an intact
 // warm replay is byte-identical with warm hits registered, then mutates
@@ -39,6 +49,7 @@
 #include <string>
 
 #include "common/fault.hpp"
+#include "common/memgov.hpp"
 #include "common/parse.hpp"
 
 #include "baseline/flows.hpp"
@@ -258,6 +269,106 @@ bool run_deadline_iteration(std::uint64_t seed) {
     }
 }
 
+/// One memory-governor iteration: the lookahead flow under a tight random
+/// per-cone quota (a few KB to a few MB, so cones regularly trip it at
+/// some charge site) and a small random global budget, at a random job
+/// count. Containment must be deterministic: the run completes, stays
+/// equivalent (degrade-to-original), never reports a memgov fault as
+/// recovered, produces byte-identical output across job counts, and the
+/// result round-trips.
+bool run_memgov_iteration(std::uint64_t seed) {
+    const lls::Aig circuit = random_circuit(seed);
+    auto check = [&](bool ok) {
+        if (!ok) dump_reproducer(seed, circuit);
+        return ok;
+    };
+    try {
+        lls::Rng rng(seed ^ 0x4e4f4d);
+        lls::LookaheadParams params;
+        params.max_iterations = 4;
+        params.seed = seed;
+        // 1KB .. ~128KB: tight enough that many cones exhaust it, wide
+        // enough that some complete (both the degrade path and the success
+        // path run under accounting).
+        params.cone_mem_bytes = (std::uint64_t{1} << 10) + rng.next_below(std::uint64_t{1} << 17);
+        // A small global rail (1..32 MB) so shedding and the relief epoch
+        // fire under fuzz workloads too; 0 every fourth run keeps the
+        // accounting-only configuration covered.
+        const std::uint64_t budget =
+            rng.next_below(4) == 0 ? 0 : (std::uint64_t{1} << 20) * (1 + rng.next_below(32));
+
+        auto run = [&](int jobs, bool intra, lls::OptimizeStats* stats) {
+            lls::MemoryGovernor governor(budget);
+            lls::EngineOptions engine;
+            engine.jobs = jobs;
+            engine.intra_cone = intra;
+            engine.governor = &governor;
+            const lls::Aig optimized =
+                lls::optimize_timing_engine(circuit, params, engine, stats);
+            std::stringstream aag;
+            lls::write_aiger(aag, optimized);
+            return std::make_pair(optimized, aag.str());
+        };
+
+        lls::OptimizeStats stats;
+        const auto [optimized, bytes] =
+            run(1 + static_cast<int>(rng.next_below(4)), rng.next_bool(), &stats);
+
+        if (!check(verify("memgov lookahead", seed, circuit, optimized))) return false;
+        int memgov_faults = 0;
+        for (const auto& f : stats.faults) {
+            if (f.stage != lls::kMemgovStage) continue;
+            ++memgov_faults;
+            if (f.recovered) {
+                std::fprintf(stderr,
+                             "FUZZ FAILURE: quota-degraded cone reported as recovered at seed "
+                             "%llu\n",
+                             static_cast<unsigned long long>(seed));
+                dump_reproducer(seed, circuit);
+                return false;
+            }
+        }
+        if (memgov_faults != stats.quota_degraded) {
+            std::fprintf(stderr,
+                         "FUZZ FAILURE: quota_degraded=%d disagrees with %d memgov fault(s) at "
+                         "seed %llu\n",
+                         stats.quota_degraded, memgov_faults,
+                         static_cast<unsigned long long>(seed));
+            dump_reproducer(seed, circuit);
+            return false;
+        }
+        // The quota is deterministic: a serial re-run must reproduce the
+        // same bytes whatever schedule the first run used.
+        lls::OptimizeStats serial_stats;
+        const auto [serial_aig, serial_bytes] = run(1, !rng.next_bool(), &serial_stats);
+        (void)serial_aig;
+        if (bytes != serial_bytes || serial_stats.quota_degraded != stats.quota_degraded) {
+            std::fprintf(stderr, "FUZZ FAILURE: quota'd run diverged across job counts at seed "
+                                 "%llu\n",
+                         static_cast<unsigned long long>(seed));
+            dump_reproducer(seed, circuit);
+            return false;
+        }
+        // A quota-degraded run must still hand the writers a well-formed AIG.
+        std::stringstream blif;
+        lls::write_blif(blif, optimized, "fuzz");
+        if (!check(verify("memgov blif roundtrip", seed, optimized, lls::read_blif(blif))))
+            return false;
+        std::printf("seed %llu ok (quota %llu B, budget %llu B, %d cone(s) degraded, "
+                    "depth %d -> %d)\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(params.cone_mem_bytes),
+                    static_cast<unsigned long long>(budget), stats.quota_degraded,
+                    circuit.depth(), optimized.depth());
+        return true;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "FUZZ FAILURE: memgov exception at seed %llu: %s\n",
+                     static_cast<unsigned long long>(seed), e.what());
+        dump_reproducer(seed, circuit);
+        return false;
+    }
+}
+
 /// AIGER bytes of one lookahead run of `circuit` through the engine, with
 /// an optional warm-start bridge — the byte-level QoR probe of the store
 /// mutation mode.
@@ -375,14 +486,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: %s [iterations] [base_seed] [--fault-inject SPEC]\n"
                      "       %s --mutate-store [iterations] [base_seed]\n"
-                     "       %s --deadline [iterations] [base_seed]\n",
-                     argv[0], argv[0], argv[0]);
+                     "       %s --deadline [iterations] [base_seed]\n"
+                     "       %s --mem-budget [iterations] [base_seed]\n",
+                     argv[0], argv[0], argv[0], argv[0]);
         return 2;
     };
     int iterations = 25;
     std::uint64_t base_seed = 1000;
     std::string fault_plan;
-    bool mutate_store = false, deadline_mode = false;
+    bool mutate_store = false, deadline_mode = false, memgov_mode = false;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -393,6 +505,8 @@ int main(int argc, char** argv) {
             mutate_store = true;
         } else if (arg == "--deadline") {
             deadline_mode = true;
+        } else if (arg == "--mem-budget") {
+            memgov_mode = true;
         } else if (positional == 0) {
             if (!lls::parse_int_option("iterations", arg.c_str(), 1, 1000000000, &iterations))
                 return usage();
@@ -416,14 +530,17 @@ int main(int argc, char** argv) {
         }
     }
 
-    if ((mutate_store || deadline_mode) && !g_fault_spec.empty()) {
+    if ((mutate_store || deadline_mode || memgov_mode) && !g_fault_spec.empty()) {
         std::fprintf(stderr,
-                     "error: --mutate-store/--deadline and --fault-inject are mutually "
-                     "exclusive\n");
+                     "error: --mutate-store/--deadline/--mem-budget and --fault-inject are "
+                     "mutually exclusive\n");
         return 2;
     }
-    if (mutate_store && deadline_mode) {
-        std::fprintf(stderr, "error: --mutate-store and --deadline are mutually exclusive\n");
+    if (static_cast<int>(mutate_store) + static_cast<int>(deadline_mode) +
+            static_cast<int>(memgov_mode) >
+        1) {
+        std::fprintf(stderr, "error: --mutate-store, --deadline, and --mem-budget are mutually "
+                             "exclusive\n");
         return 2;
     }
 
@@ -431,6 +548,7 @@ int main(int argc, char** argv) {
         const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
         const bool ok = mutate_store    ? run_store_iteration(seed)
                         : deadline_mode ? run_deadline_iteration(seed)
+                        : memgov_mode   ? run_memgov_iteration(seed)
                                         : run_iteration(seed, fault_plan);
         if (!ok) return 1;
     }

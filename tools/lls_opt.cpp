@@ -58,6 +58,19 @@
 //   --time-budget DUR             wall-clock safety rail for the whole run
 //                                 (nondeterministic; use --work-budget for
 //                                 reproducible budgeted runs)
+//   --cone-mem SIZE               deterministic per-cone memory quota (64M,
+//                                 1G, plain bytes; default off): a cone whose
+//                                 evaluation would exceed it keeps its
+//                                 original logic with a FaultRecord — at the
+//                                 same program point whatever --jobs,
+//                                 --intra-cone, or cache state, so quota'd
+//                                 runs stay byte-identical
+//   --mem-budget SIZE             process-wide memory high-water rail:
+//                                 crossing it sheds the memo caches first,
+//                                 then holds batch admission until in-flight
+//                                 items release memory; committed outputs
+//                                 stay byte-identical (only the event counts
+//                                 are wall-dependent)
 //
 // Exit codes are documented in --help: 0 success; 1 not equivalent / item
 // failed; 2 usage; 10..16 per ErrorKind; 30 terminated by SIGTERM/SIGINT
@@ -83,6 +96,7 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/memgov.hpp"
 #include "common/parse.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
@@ -129,6 +143,7 @@ void print_usage(std::FILE* out, const char* argv0) {
                  "          [--steal on|off] [--intra-cone on|off] [--shared-bdd on|off]\n"
                  "          [--work-budget N]\n"
                  "          [--cone-deadline DUR] [--time-budget DUR]\n"
+                 "          [--cone-mem SIZE] [--mem-budget SIZE]\n"
                  "          [--fault-inject SPEC]\n"
                  "          [--cache-dir DIR] [--cache-mode read|write|rw|off]\n"
                  "          [--no-verify] [--map]\n"
@@ -150,6 +165,7 @@ int help(const char* argv0) {
     print_usage(stdout, argv0);
     std::printf(
         "\nDurations (DUR) are a number with a unit: 500ms, 30s, 5m.\n"
+        "Sizes (SIZE) are plain bytes or a binary suffix: 4194304, 64M, 1G.\n"
         "\nexit codes:\n"
         "   0  success\n"
         "  %2d  result not equivalent / unresolved, or a batch item failed\n"
@@ -207,6 +223,8 @@ int main(int argc, char** argv) {
     int iterations = 10;
     int jobs = 1;
     std::uint64_t work_budget = 0;
+    std::uint64_t cone_mem_bytes = 0, mem_budget_bytes = 0;
+    bool governor_requested = false;
     double cone_deadline = 0.0, time_budget = 0.0;
     bool verify = true, map_report = false, print_stats = false, print_metrics = false;
     bool batch = false, resume = false, shared_bdd = true, steal = true, intra_cone = true;
@@ -263,6 +281,14 @@ int main(int argc, char** argv) {
         } else if (arg == "--time-budget" && i + 1 < argc) {
             if (!lls::parse_duration_option("--time-budget", argv[++i], &time_budget))
                 return usage(argv[0]);
+        } else if (arg == "--cone-mem" && i + 1 < argc) {
+            if (!lls::parse_size_option("--cone-mem", argv[++i], &cone_mem_bytes))
+                return usage(argv[0]);
+            governor_requested = true;
+        } else if (arg == "--mem-budget" && i + 1 < argc) {
+            if (!lls::parse_size_option("--mem-budget", argv[++i], &mem_budget_bytes))
+                return usage(argv[0]);
+            governor_requested = true;
         } else if (arg == "--batch") {
             batch = true;
         } else if (arg == "--out-dir" && i + 1 < argc) {
@@ -314,6 +340,7 @@ int main(int argc, char** argv) {
     params.work_budget = work_budget;
     params.cone_deadline_seconds = cone_deadline;
     params.time_budget_seconds = time_budget;
+    params.cone_mem_bytes = cone_mem_bytes;
     lls::EngineOptions engine;
     engine.jobs = jobs;
     engine.shared_bdd = shared_bdd;
@@ -379,10 +406,33 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Memory governance: either flag instantiates the Tier-2 accountant so
+    // `engine.mem.charged_bytes` is meaningful even on quota-only runs
+    // (budget 0 = accounting without the relief rail). The governor owns no
+    // components — the engine binds solver arenas and BDD managers to it,
+    // the memo caches register gauges + shed hooks here, and the warm-start
+    // sets contribute a constant gauge.
+    std::unique_ptr<lls::MemoryGovernor> governor;
+    if (governor_requested) {
+        governor = std::make_unique<lls::MemoryGovernor>(mem_budget_bytes);
+        lls::register_memo_governance(*governor);
+        if (warm) {
+            lls::WarmStart* warm_ptr = warm.get();
+            governor->add_gauge([warm_ptr] { return warm_ptr->approx_bytes(); });
+        }
+        engine.governor = governor.get();
+    }
+
     // Shared epilogue of both modes: final store flush + metrics dumps.
     // Returns false (-> exit 1) only when --metrics-json cannot be written.
     auto epilogue = [&]() -> bool {
         if (warm) warm->finalize();
+        if (governor)
+            std::printf("memgov: %llu bytes charged, %llu shed event(s), %llu admission "
+                        "hold(s)\n",
+                        static_cast<unsigned long long>(governor->charged_total()),
+                        static_cast<unsigned long long>(governor->shed_events()),
+                        static_cast<unsigned long long>(governor->admission_holds()));
         if (print_metrics) lls::Metrics::global().report(stdout);
         if (!metrics_json_path.empty()) {
             std::ofstream out(metrics_json_path);
@@ -480,6 +530,10 @@ int main(int argc, char** argv) {
                 exit_code = 1;
             }
             print_fault_summary(r.name.c_str(), r.stats);
+            if (r.stats.quota_degraded > 0)
+                std::printf("%s: %d cone(s) exceeded --cone-mem and kept their original "
+                            "logic\n",
+                            r.name.c_str(), r.stats.quota_degraded);
             if (work_budget > 0)
                 std::printf("%s: work budget spent %llu of %llu units%s\n", r.name.c_str(),
                             static_cast<unsigned long long>(r.stats.work_units),
@@ -605,6 +659,10 @@ int main(int argc, char** argv) {
                      "warning: %d cone(s) hit --cone-deadline and kept their original "
                      "logic; this result is timing-dependent\n",
                      stats.deadline_cancelled);
+    if (stats.quota_degraded > 0)
+        std::printf("%d cone(s) exceeded --cone-mem and kept their original logic "
+                    "(deterministic; byte-identical across --jobs)\n",
+                    stats.quota_degraded);
     print_fault_summary(input_path.c_str(), stats);
     if (print_stats)
         for (const auto& line : stats.log) std::printf("  %s\n", line.c_str());

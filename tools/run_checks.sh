@@ -6,8 +6,10 @@
 # at every --jobs value), a batch steal-invariance check (outputs
 # byte-identical across --jobs 1/2/4 x --steal on/off), an intra-cone
 # fan-out invariance check (outputs byte-identical across --jobs 1/2/4 x
-# --intra-cone on/off, budgeted and warm-cache variants included),
-# fault-injection
+# --intra-cone on/off, budgeted and warm-cache variants included), a
+# per-cone memory-quota determinism check (tight --cone-mem batch runs
+# byte-identical across --jobs x --intra-cone x cold/warm cache, with the
+# full suite re-run under AddressSanitizer), fault-injection
 # and checkpoint/resume checks of the containment subsystem (including a
 # steal-enabled crash/resume cycle), persistent-memo-store checks (warm
 # runs byte-identical to cold across --jobs, corrupted stores degrade to
@@ -129,6 +131,48 @@ for j in 1 4; do
 done
 echo "intra-cone outputs identical across --jobs 1/2/4 x on/off, budgeted + warm cache"
 
+echo "== stage 2e: per-cone memory quota degrades deterministically =="
+# The Tier-1 memory quota's core claim: a tight --cone-mem must trip at
+# identical program points whatever the job count, intra-cone setting, or
+# cache state — batch outputs byte-identical across --jobs 1/2/4 x
+# --intra-cone on/off x cold/warm persistent cache, with at least one cone
+# actually degraded (the quota is calibrated to fire on rca16).
+MEMCACHE="$WORKDIR/memgov_cache"
+# Seed run: populates the persistent store (quota-degraded evaluations
+# memoize and persist like any deterministic fault) and is the byte
+# reference for every later combination.
+./build/tools/lls_opt --batch --cone-mem 4M --mem-budget 64M --jobs 1 \
+    --intra-cone on --iterations 6 --cache-dir "$MEMCACHE" \
+    --out-dir "$WORKDIR/mg.seed" \
+    tests/data/rca16.blif tests/data/control24.blif > "$WORKDIR/mg.seed.log"
+grep -q "memgov" "$WORKDIR/mg.seed.log" || {
+    echo "expected at least one memgov-degraded cone under --cone-mem 4M"; exit 1; }
+for j in 1 2 4; do
+    for m in on off; do
+        ./build/tools/lls_opt --batch --cone-mem 4M --mem-budget 64M \
+            --jobs "$j" --intra-cone "$m" --iterations 6 \
+            --out-dir "$WORKDIR/mg.j$j.$m.cold" \
+            tests/data/rca16.blif tests/data/control24.blif \
+            > "$WORKDIR/mg.j$j.$m.cold.log"
+        ./build/tools/lls_opt --batch --cone-mem 4M --mem-budget 64M \
+            --jobs "$j" --intra-cone "$m" --iterations 6 \
+            --cache-dir "$MEMCACHE" --cache-mode read \
+            --out-dir "$WORKDIR/mg.j$j.$m.warm" \
+            tests/data/rca16.blif tests/data/control24.blif \
+            > "$WORKDIR/mg.j$j.$m.warm.log"
+    done
+done
+for j in 1 2 4; do
+    for m in on off; do
+        for pass in cold warm; do
+            for name in rca16 control24; do
+                cmp "$WORKDIR/mg.seed/$name.blif" "$WORKDIR/mg.j$j.$m.$pass/$name.blif"
+            done
+        done
+    done
+done
+echo "quota'd outputs identical across --jobs 1/2/4 x --intra-cone on/off x cold/warm"
+
 echo "== stage 3: fault injection never aborts and stays jobs-invariant =="
 # Every engine site class, injected on the regression circuits: the run must
 # exit 0 (contained, not crashed), verify equivalence, and produce the same
@@ -152,12 +196,17 @@ done
 # Store-file mutation fuzzing: random corruption of published shards must
 # always degrade to a byte-identical cold recompute, never a crash.
 (cd "$WORKDIR" && "$REPO/build/tools/lls_fuzz" --mutate-store 3 4242)
-# The fault-injection + checkpoint unit tests again under AddressSanitizer:
-# the recovery ladder's throw/catch/degrade paths must be leak- and
-# corruption-free, not just functionally right.
+# Memory-governor fuzzing: random tight per-cone quotas + small global
+# budgets must always be contained (equivalent, never "recovered",
+# byte-identical across job counts).
+(cd "$WORKDIR" && "$REPO/build/tools/lls_fuzz" --mem-budget 3 4242)
+# The full test suite again under AddressSanitizer: the recovery ladder's
+# throw/catch/degrade paths, the quota exhaustion throws, and the
+# governor's shed/admission machinery must be leak- and corruption-free,
+# not just functionally right.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLLS_SANITIZE=address
-cmake --build build-asan -j "$JOBS" --target test_engine
-(cd build-asan && ctest -R 'test_engine' --output-on-failure)
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
 
 echo "== stage 4: interrupted checkpoint + resume is byte-identical =="
 # Run the batch uninterrupted; then crash it (simulated, exit 42) after one
